@@ -1,0 +1,238 @@
+//! Full SVD (values **and** vectors) by one-sided Jacobi — the
+//! singular-vector extension the paper lists as future work (§5: "we plan
+//! to extend the implementation to compute singular vectors, enabling
+//! full-rank SVD functionality").
+//!
+//! One-sided Jacobi orthogonalises the columns of `W = A` by plane
+//! rotations while accumulating the same rotations into `V`; at
+//! convergence `W = U Σ` and `A = U Σ Vᵀ`. Simple, slow (O(n³) per
+//! sweep), and accurate to working precision — the right tool for an
+//! oracle-grade reference factorisation.
+
+use crate::jacobi::MAX_SWEEPS;
+use unisvd_matrix::Matrix;
+use unisvd_scalar::{Real, Scalar};
+
+/// A full singular value decomposition `A = U · diag(s) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SvdFactors<R> {
+    /// Left singular vectors, `m × min(m,n)` (columns for σ = 0 within
+    /// roundoff are zero — the matrix's numerical null space).
+    pub u: Matrix<R>,
+    /// Singular values, descending, length `min(m, n)`.
+    pub s: Vec<R>,
+    /// Right singular vectors, transposed: `min(m,n) × n`.
+    pub vt: Matrix<R>,
+}
+
+impl<R: Real + Scalar<Accum = R>> SvdFactors<R> {
+    /// `‖U Σ Vᵀ − A‖_max` — reconstruction residual.
+    pub fn reconstruction_error(&self, a: &Matrix<R>) -> f64 {
+        let k = self.s.len();
+        let mut err = 0.0f64;
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                let mut acc = R::ZERO;
+                for l in 0..k {
+                    acc += self.u[(i, l)] * self.s[l] * self.vt[(l, j)];
+                }
+                err = err.max((<R as Real>::to_f64(acc) - <R as Real>::to_f64(a[(i, j)])).abs());
+            }
+        }
+        err
+    }
+
+    /// Best rank-`r` approximation `U_r Σ_r V_rᵀ` (Eckart–Young).
+    pub fn truncate(&self, r: usize) -> Matrix<R> {
+        let r = r.min(self.s.len());
+        let (m, n) = (self.u.rows(), self.vt.cols());
+        Matrix::from_fn(m, n, |i, j| {
+            let mut acc = R::ZERO;
+            for l in 0..r {
+                acc += self.u[(i, l)] * self.s[l] * self.vt[(l, j)];
+            }
+            acc
+        })
+    }
+}
+
+/// Full SVD of `a` (`m × n`, any shape) by one-sided Jacobi.
+pub fn jacobi_svd<R: Real + Scalar<Accum = R>>(a: &Matrix<R>) -> SvdFactors<R> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+
+    // Work on Aᵀ if wide, so the rotated matrix always has m ≥ n; fix up
+    // by swapping U/V at the end.
+    if m < n {
+        let f = jacobi_svd(&a.transposed());
+        let u = Matrix::from_fn(m, k, |i, j| f.vt[(j, i)]);
+        let vt = Matrix::from_fn(k, n, |i, j| f.u[(j, i)]);
+        return SvdFactors { u, s: f.s, vt };
+    }
+
+    let mut w: Vec<R> = a.as_slice().to_vec(); // m × n, column-major
+    let mut v = Matrix::<R>::identity(n);
+    let tol = R::EPSILON * <R as Real>::from_f64(m as f64).sqrt();
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (R::ZERO, R::ZERO, R::ZERO);
+                for i in 0..m {
+                    let x = w[p * m + i];
+                    let y = w[q * m + i];
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                if apq.abs() <= tol * (app * aqq).sqrt() || apq == R::ZERO {
+                    continue;
+                }
+                rotated = true;
+                let theta = (aqq - app) / (R::TWO * apq);
+                let t = {
+                    let sign = if theta < R::ZERO { -R::ONE } else { R::ONE };
+                    sign / (theta.abs() + (R::ONE + theta * theta).sqrt())
+                };
+                let c = R::ONE / (R::ONE + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let x = w[p * m + i];
+                    let y = w[q * m + i];
+                    w[p * m + i] = c * x - s * y;
+                    w[q * m + i] = s * x + c * y;
+                }
+                for i in 0..n {
+                    let x = v[(i, p)];
+                    let y = v[(i, q)];
+                    v[(i, p)] = c * x - s * y;
+                    v[(i, q)] = s * x + c * y;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalised columns are U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<R> = (0..n)
+        .map(|j| {
+            let mut s = R::ZERO;
+            for i in 0..m {
+                s += w[j * m + i] * w[j * m + i];
+            }
+            s.sqrt()
+        })
+        .collect();
+    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
+
+    let smax = norms[order[0]].max(R::MIN_POSITIVE);
+    let cutoff = smax * R::EPSILON * <R as Real>::from_f64(m as f64);
+    let s: Vec<R> = order.iter().take(k).map(|&j| norms[j]).collect();
+    let u = Matrix::from_fn(m, k, |i, l| {
+        let j = order[l];
+        if norms[j] > cutoff {
+            w[j * m + i] / norms[j]
+        } else {
+            R::ZERO
+        }
+    });
+    let vt = Matrix::from_fn(k, n, |l, i| v[(i, order[l])]);
+    SvdFactors { u, s, vt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unisvd_matrix::{reference, testmat, SvDistribution};
+
+    #[test]
+    fn reconstructs_square_matrix() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = testmat::random_general::<f64, _>(20, 20, &mut rng);
+        let f = jacobi_svd(&a);
+        assert!(
+            f.reconstruction_error(&a) < 1e-12,
+            "err {}",
+            f.reconstruction_error(&a)
+        );
+        // Orthogonality of both factors.
+        assert!(reference::orthogonality_error(&f.u) < 1e-12);
+        let v = f.vt.transposed();
+        assert!(reference::orthogonality_error(&v) < 1e-12);
+        // Values descending.
+        assert!(f.s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn matches_known_singular_values() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (a, truth) =
+            testmat::test_matrix::<f64, _>(24, SvDistribution::Logarithmic, false, &mut rng);
+        let f = jacobi_svd(&a);
+        for i in 0..24 {
+            assert!((f.s[i] - truth[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tall_and_wide_shapes() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let tall = testmat::random_general::<f64, _>(30, 12, &mut rng);
+        let f = jacobi_svd(&tall);
+        assert_eq!((f.u.rows(), f.u.cols()), (30, 12));
+        assert_eq!((f.vt.rows(), f.vt.cols()), (12, 12));
+        assert!(f.reconstruction_error(&tall) < 1e-12);
+
+        let wide = tall.transposed();
+        let g = jacobi_svd(&wide);
+        assert_eq!((g.u.rows(), g.u.cols()), (12, 12));
+        assert_eq!((g.vt.rows(), g.vt.cols()), (12, 30));
+        assert!(g.reconstruction_error(&wide) < 1e-12);
+        for i in 0..12 {
+            assert!((f.s[i] - g.s[i]).abs() < 1e-12, "σ(A) = σ(Aᵀ)");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_null_space() {
+        // Rank-2 matrix: trailing σ ~ 0 and their U columns zeroed.
+        let mut rng = StdRng::seed_from_u64(14);
+        let b = testmat::random_general::<f64, _>(10, 2, &mut rng);
+        let c = testmat::random_general::<f64, _>(2, 10, &mut rng);
+        let mut a = Matrix::<f64>::zeros(10, 10);
+        reference::gemm(1.0, &b, false, &c, false, 0.0, &mut a);
+        let f = jacobi_svd(&a);
+        assert!(f.s[2] < 1e-12 * f.s[0]);
+        assert!(f.reconstruction_error(&a) < 1e-12);
+        for l in 2..10 {
+            for i in 0..10 {
+                assert_eq!(f.u[(i, l)], 0.0, "null-space U columns are zero");
+            }
+        }
+    }
+
+    #[test]
+    fn eckart_young_truncation() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let (a, truth) =
+            testmat::test_matrix::<f64, _>(16, SvDistribution::Logarithmic, false, &mut rng);
+        let f = jacobi_svd(&a);
+        let r = 4;
+        let ar = f.truncate(r);
+        // ‖A − A_r‖_F² = Σ_{i>r} σ_i² (Eckart–Young, Frobenius form).
+        let mut diff2 = 0.0;
+        for j in 0..16 {
+            for i in 0..16 {
+                diff2 += (a[(i, j)] - ar[(i, j)]).powi(2);
+            }
+        }
+        let want: f64 = truth[r..].iter().map(|s| s * s).sum();
+        assert!(((diff2 - want) / want).abs() < 1e-10, "{diff2} vs {want}");
+    }
+}

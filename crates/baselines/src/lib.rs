@@ -1,0 +1,22 @@
+//! Comparator baselines for the unisvd reproduction.
+//!
+//! * [`jacobi`] — one-sided Jacobi SVD, the independent numeric accuracy
+//!   oracle used throughout the test suite.
+//! * [`jacobi_full`] — full SVD with singular vectors (the paper's §5
+//!   future-work item), including Eckart–Young truncation.
+//! * [`onestage`] — one-stage Householder bidiagonalisation (`GEBRD`), the
+//!   algorithm behind the vendor `gesvd` routines, implemented numerically
+//!   for Table 1's bracketed reference column.
+//! * [`library`] — the five comparator libraries of §4 (cuSOLVER,
+//!   rocSOLVER, oneMKL, MAGMA, SLATE) as algorithm-faithful cost models
+//!   replayed through the simulated devices.
+
+pub mod jacobi;
+pub mod jacobi_full;
+pub mod library;
+pub mod onestage;
+
+pub use jacobi::jacobi_svdvals;
+pub use jacobi_full::{jacobi_svd, SvdFactors};
+pub use library::Library;
+pub use onestage::{gebrd, onestage_svdvals};

@@ -1,0 +1,43 @@
+//! Fig. 2 bench: fused vs unfused kernels — numeric wall time and the
+//! launch-count ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_core::{svdvals_with, SvdConfig};
+use unisvd_gpu::{hw, Device};
+use unisvd_kernels::HyperParams;
+use unisvd_matrix::{testmat, SvDistribution};
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/fusion_numeric");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 128;
+    let (a, _) = testmat::test_matrix::<f32, _>(n, SvDistribution::Arithmetic, true, &mut rng);
+    for fused in [true, false] {
+        let cfg = SvdConfig {
+            params: Some(HyperParams::new(16, 16, 1)),
+            fused,
+            ..SvdConfig::default()
+        };
+        let dev = Device::numeric(hw::h100());
+        g.bench_with_input(
+            BenchmarkId::new(if fused { "fused" } else { "unfused" }, n),
+            &n,
+            |b, _| b.iter(|| svdvals_with(&a, &dev, &cfg).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/ablation_sweep");
+    g.sample_size(10);
+    g.bench_function("to_4096", |b| {
+        b.iter(|| unisvd_bench::figures::fusion_ablation(4096))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_unfused, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 3 / Fig. 4 / Table 4 bench: unified vs baselines — numeric oracle
+//! comparisons at small sizes and the trace-mode ratio sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_baselines::{jacobi_svdvals, onestage_svdvals};
+use unisvd_core::svdvals;
+use unisvd_gpu::{hw, Device};
+use unisvd_matrix::{testmat, SvDistribution};
+
+fn bench_numeric_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/numeric_algorithms");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 96;
+    let (a, _) = testmat::test_matrix::<f64, _>(n, SvDistribution::QuarterCircle, true, &mut rng);
+    let dev = Device::numeric(hw::h100());
+    g.bench_function("unified_two_stage", |b| {
+        b.iter(|| svdvals(&a, &dev).unwrap())
+    });
+    g.bench_function("one_stage_gebrd", |b| {
+        b.iter(|| onestage_svdvals(&a).unwrap())
+    });
+    g.bench_function("jacobi_oracle", |b| b.iter(|| jacobi_svdvals(&a)));
+    g.finish();
+}
+
+fn bench_ratio_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_fig4/trace_sweeps");
+    g.sample_size(10);
+    g.bench_function("fig4_vendor_sweep", |b| b.iter(unisvd_bench::ratios::fig4));
+    g.bench_function("fig3_to_4096", |b| {
+        b.iter(|| unisvd_bench::ratios::fig3(4096))
+    });
+    g.bench_function("table4_to_4096", |b| {
+        b.iter(|| unisvd_bench::ratios::table4(4096))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_numeric_algorithms, bench_ratio_sweeps);
+criterion_main!(benches);

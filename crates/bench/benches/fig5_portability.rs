@@ -1,0 +1,47 @@
+//! Fig. 5 bench: the unified numeric solve across simulated backends and
+//! precisions, plus the trace-mode portability sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_core::svdvals;
+use unisvd_gpu::{hw, Device};
+use unisvd_matrix::{testmat, SvDistribution};
+use unisvd_scalar::F16;
+
+fn bench_across_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/numeric_backends");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 96;
+    let (a64, _) = testmat::test_matrix::<f64, _>(n, SvDistribution::Arithmetic, true, &mut rng);
+    let a32 = a64.cast::<f32>();
+    let a16 = a64.cast::<F16>();
+    for hwdesc in [hw::h100(), hw::mi250(), hw::m1_pro(), hw::pvc()] {
+        let name = hwdesc.name;
+        let dev = Device::numeric(hwdesc);
+        g.bench_with_input(BenchmarkId::new("fp32", name), &n, |b, _| {
+            b.iter(|| svdvals(&a32, &dev).unwrap())
+        });
+        if dev.supports(unisvd_scalar::PrecisionKind::Fp16).is_ok() {
+            g.bench_with_input(BenchmarkId::new("fp16", name), &n, |b, _| {
+                b.iter(|| svdvals(&a16, &dev).unwrap())
+            });
+        }
+        if dev.supports(unisvd_scalar::PrecisionKind::Fp64).is_ok() {
+            g.bench_with_input(BenchmarkId::new("fp64", name), &n, |b, _| {
+                b.iter(|| svdvals(&a64, &dev).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig5_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/trace_sweep");
+    g.sample_size(10);
+    g.bench_function("to_8192", |b| b.iter(|| unisvd_bench::figures::fig5(8192)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_across_backends, bench_fig5_sweep);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Fig. 6 bench: the individual pipeline stages — stage-1 band reduction
+//! kernels, stage-2 bulge chasing, and the stage-3 bidiagonal solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use unisvd_core::band2bi::band_to_bidiagonal;
+use unisvd_core::band_diag::band_diag;
+use unisvd_core::{bdsqr, bisect, dqds};
+use unisvd_gpu::{hw, Device};
+use unisvd_kernels::HyperParams;
+use unisvd_matrix::{BandMatrix, Bidiagonal, Matrix};
+use unisvd_scalar::PrecisionKind;
+
+fn bench_stage1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/stage1_band_diag");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    for n in [64usize, 128] {
+        let a0 = Matrix::<f64>::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let p = HyperParams::new(16, 16, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let dev = Device::numeric(hw::h100());
+                let buf = dev.upload(a0.as_slice());
+                let tau = dev.alloc::<f64>(n);
+                band_diag(&dev, &buf, &tau, n, &p, true);
+                buf.read(0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stage2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/stage2_bulge_chase");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    for (n, bw) in [(128usize, 8usize), (256, 16)] {
+        let band0 = BandMatrix::from_dense(n, 1, bw + 1, |i, j| {
+            if j >= i && j - i <= bw {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        g.bench_with_input(BenchmarkId::new("n_bw", format!("{n}_{bw}")), &n, |b, _| {
+            b.iter(|| {
+                let dev = Device::numeric(hw::h100());
+                let mut band = band0.clone();
+                band_to_bidiagonal(&dev, &mut band, bw, PrecisionKind::Fp64, bw)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stage3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/stage3_bidiagonal_svd");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(8);
+    for n in [256usize, 1024] {
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bi = Bidiagonal::new(d, e);
+        g.bench_with_input(BenchmarkId::new("bdsqr", n), &n, |b, _| {
+            b.iter(|| bdsqr(&bi).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("dqds", n), &n, |b, _| {
+            b.iter(|| dqds(&bi).unwrap())
+        });
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("bisect", n), &n, |b, _| {
+                b.iter(|| bisect(&bi))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig6_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/trace_breakdown");
+    g.sample_size(10);
+    g.bench_function("to_8192", |b| b.iter(|| unisvd_bench::figures::fig6(8192)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stage1,
+    bench_stage2,
+    bench_stage3,
+    bench_fig6_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 1 bench: wall time of the *numeric* unified solve per storage
+//! precision (the accuracy experiment's workload), plus the accuracy
+//! harness itself at a small size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_core::svdvals;
+use unisvd_gpu::{hw, Device};
+use unisvd_matrix::{testmat, SvDistribution};
+use unisvd_scalar::F16;
+
+fn bench_numeric_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/numeric_svdvals");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [64usize, 128] {
+        let (a64, _) =
+            testmat::test_matrix::<f64, _>(n, SvDistribution::Logarithmic, true, &mut rng);
+        let a32 = a64.cast::<f32>();
+        let a16 = a64.cast::<F16>();
+        let dev = Device::numeric(hw::h100());
+        g.bench_with_input(BenchmarkId::new("fp64", n), &n, |b, _| {
+            b.iter(|| svdvals(&a64, &dev).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("fp32", n), &n, |b, _| {
+            b.iter(|| svdvals(&a32, &dev).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("fp16", n), &n, |b, _| {
+            b.iter(|| svdvals(&a16, &dev).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_accuracy_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/harness_row");
+    g.sample_size(10);
+    g.bench_function("n64_one_matrix_per_dist", |b| {
+        b.iter(|| unisvd_bench::accuracy::table1(&[64], 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_numeric_solve, bench_accuracy_row);
+criterion_main!(benches);

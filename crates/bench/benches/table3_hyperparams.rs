@@ -1,0 +1,42 @@
+//! Table 3 bench: numeric solve wall time as hyperparameters vary, and
+//! the cost-model sweep that regenerates the table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_core::{svdvals_with, SvdConfig};
+use unisvd_gpu::{hw, Device};
+use unisvd_kernels::HyperParams;
+use unisvd_matrix::{testmat, SvDistribution};
+
+fn bench_tilesize_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/tilesize_numeric");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 128;
+    let (a, _) = testmat::test_matrix::<f32, _>(n, SvDistribution::Arithmetic, true, &mut rng);
+    for ts in [8usize, 16, 32, 64] {
+        let cfg = SvdConfig {
+            params: Some(HyperParams::new(ts, ts.min(32), 1)),
+            fused: true,
+            ..SvdConfig::default()
+        };
+        let dev = Device::numeric(hw::h100());
+        g.bench_with_input(BenchmarkId::new("ts", ts), &ts, |b, _| {
+            b.iter(|| svdvals_with(&a, &dev, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_table3_regeneration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/cost_model");
+    g.sample_size(10);
+    g.bench_function("full_table", |b| b.iter(unisvd_bench::hyperparams::table3));
+    g.bench_function("splitk_ablation", |b| {
+        b.iter(|| unisvd_bench::hyperparams::splitk_ablation(512))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tilesize_variants, bench_table3_regeneration);
+criterion_main!(benches);

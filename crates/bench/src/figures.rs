@@ -1,0 +1,276 @@
+//! Figures 5 & 6 and the fusion ablation (Fig. 2 / §3.2).
+
+use crate::{pow2_sizes, unified_seconds, unified_summary};
+use serde::Serialize;
+use unisvd_gpu::hw::{h100, m1_pro, mi250, pvc, rtx4060};
+use unisvd_gpu::KernelClass;
+use unisvd_scalar::PrecisionKind;
+
+/// Fig. 5 — runtime of the unified function across hardware and precision.
+#[derive(Clone, Debug, Serialize)]
+pub struct PortabilityCurve {
+    /// Platform name.
+    pub platform: String,
+    /// Precision.
+    pub precision: String,
+    /// (n, seconds); the sweep ends where the working set no longer fits
+    /// device memory — the FP16-reaches-131k effect.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Regenerates Fig. 5: H100, MI250, Apple M1, Intel PVC × FP16/FP32/FP64
+/// where supported.
+pub fn fig5(max_n: usize) -> Vec<PortabilityCurve> {
+    let mut out = Vec::new();
+    for hw in [h100(), mi250(), m1_pro(), pvc()] {
+        for prec in [
+            PrecisionKind::Fp16,
+            PrecisionKind::Fp32,
+            PrecisionKind::Fp64,
+        ] {
+            if hw.supports(prec).is_err() {
+                continue;
+            }
+            let mut points = Vec::new();
+            for n in pow2_sizes(256, max_n) {
+                if !hw.fits((n * n * prec.bytes()) as u64) {
+                    break;
+                }
+                if let Some(t) = unified_seconds(&hw, n, prec, None, true) {
+                    points.push((n, t));
+                }
+            }
+            out.push(PortabilityCurve {
+                platform: hw.name.to_string(),
+                precision: prec.name().to_string(),
+                points,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 6 — relative runtime of the four stages.
+#[derive(Clone, Debug, Serialize)]
+pub struct StageBreakdown {
+    /// Platform name.
+    pub platform: String,
+    /// Matrix size.
+    pub n: usize,
+    /// Fractions of total time: panel, trailing, band→bidiag, bidiag→σ.
+    pub fractions: [f64; 4],
+    /// Ratio of trailing-update time to panel-factorisation time.
+    pub trailing_over_panel: f64,
+}
+
+/// Regenerates Fig. 6 on the given platforms over a size sweep.
+pub fn fig6(max_n: usize) -> Vec<StageBreakdown> {
+    let mut out = Vec::new();
+    for hw in [rtx4060(), h100(), mi250()] {
+        for n in pow2_sizes(512, max_n) {
+            if !hw.fits((n * n * 4) as u64) {
+                break;
+            }
+            let s = unified_summary(&hw, n, PrecisionKind::Fp32, None, true).unwrap();
+            let fractions = [
+                s.fraction_of(KernelClass::PanelFactorization),
+                s.fraction_of(KernelClass::TrailingUpdate),
+                s.fraction_of(KernelClass::BandToBidiagonal),
+                s.fraction_of(KernelClass::BidiagonalSvd),
+            ];
+            let panel = s.seconds_of(KernelClass::PanelFactorization);
+            let trailing = s.seconds_of(KernelClass::TrailingUpdate);
+            out.push(StageBreakdown {
+                platform: hw.name.to_string(),
+                n,
+                fractions,
+                trailing_over_panel: trailing / panel,
+            });
+        }
+    }
+    out
+}
+
+/// Fusion ablation (Fig. 2): launches and time, fused vs unfused.
+#[derive(Clone, Debug, Serialize)]
+pub struct FusionPoint {
+    /// Matrix size.
+    pub n: usize,
+    /// Total kernel launches, fused kernels.
+    pub launches_fused: usize,
+    /// Total kernel launches, classic row-by-row kernels.
+    pub launches_unfused: usize,
+    /// Simulated seconds, fused.
+    pub seconds_fused: f64,
+    /// Simulated seconds, unfused.
+    pub seconds_unfused: f64,
+}
+
+/// Regenerates the fusion ablation on the H100 descriptor.
+pub fn fusion_ablation(max_n: usize) -> Vec<FusionPoint> {
+    let hw = h100();
+    pow2_sizes(512, max_n)
+        .into_iter()
+        .map(|n| {
+            let f = unified_summary(&hw, n, PrecisionKind::Fp32, None, true).unwrap();
+            let u = unified_summary(&hw, n, PrecisionKind::Fp32, None, false).unwrap();
+            FusionPoint {
+                n,
+                launches_fused: f.total_launches(),
+                launches_unfused: u.total_launches(),
+                seconds_fused: f.total_seconds(),
+                seconds_unfused: u.total_seconds(),
+            }
+        })
+        .collect()
+}
+
+/// Pretty-printers.
+pub fn print_fig5(curves: &[PortabilityCurve]) {
+    println!("\n== Fig. 5: unified runtime across hardware and precision (simulated s) ==");
+    for c in curves {
+        let pts: Vec<String> = c
+            .points
+            .iter()
+            .map(|(n, t)| format!("{n}:{t:.3}"))
+            .collect();
+        println!("{:>13} {:>5}: {}", c.platform, c.precision, pts.join("  "));
+        if let Some(&(nmax, _)) = c.points.last() {
+            println!("{:>21} max resident size: {nmax}", "");
+        }
+    }
+}
+
+/// Prints the Fig. 6 stage breakdown.
+pub fn print_fig6(rows: &[StageBreakdown]) {
+    println!("\n== Fig. 6: relative stage runtime (panel / trailing / band→bi / bi→σ) ==");
+    for r in rows {
+        println!(
+            "{:>15} n={:>6}: {:>5.1}% / {:>5.1}% / {:>5.1}% / {:>5.1}%   trailing/panel = {:.2}",
+            r.platform,
+            r.n,
+            100.0 * r.fractions[0],
+            100.0 * r.fractions[1],
+            100.0 * r.fractions[2],
+            100.0 * r.fractions[3],
+            r.trailing_over_panel
+        );
+    }
+}
+
+/// Prints the fusion ablation.
+pub fn print_fusion(rows: &[FusionPoint]) {
+    println!("\n== Fusion ablation (Fig. 2): launches scale linearly when fused ==");
+    println!(
+        "{:>8} | {:>10} {:>12} | {:>10} {:>12} | {:>7}",
+        "n", "fused", "unfused", "t_fused", "t_unfused", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>8} | {:>10} {:>12} | {:>9.4}s {:>11.4}s | {:>6.2}x",
+            r.n,
+            r.launches_fused,
+            r.launches_unfused,
+            r.seconds_fused,
+            r.seconds_unfused,
+            r.seconds_unfused / r.seconds_fused
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_capability_and_capacity() {
+        let curves = fig5(131072);
+        // NVIDIA: FP16 and FP32 curves essentially coincide (upcast to
+        // FP32 compute, §4.3) …
+        let h16 = curves
+            .iter()
+            .find(|c| c.platform.contains("H100") && c.precision == "FP16")
+            .unwrap();
+        let h32 = curves
+            .iter()
+            .find(|c| c.platform.contains("H100") && c.precision == "FP32")
+            .unwrap();
+        for (&(n1, t16), &(n2, t32)) in h16.points.iter().zip(&h32.points) {
+            assert_eq!(n1, n2);
+            if n1 >= 4096 {
+                assert!(
+                    (t16 / t32 - 1.0).abs() < 0.10,
+                    "FP16/FP32 diverge at {n1}: {t16} vs {t32}"
+                );
+            }
+        }
+        // … but FP16 reaches larger sizes (131k on H100).
+        assert_eq!(h16.points.last().unwrap().0, 131072);
+        assert!(h32.points.last().unwrap().0 < 131072);
+        // No FP64 on Metal, no FP16 on AMD.
+        assert!(!curves
+            .iter()
+            .any(|c| c.platform.contains("M1") && c.precision == "FP64"));
+        assert!(!curves
+            .iter()
+            .any(|c| c.platform.contains("MI250") && c.precision == "FP16"));
+        // FP64 slower than FP32 on H100 at the same size (half peak).
+        let h64 = curves
+            .iter()
+            .find(|c| c.platform.contains("H100") && c.precision == "FP64")
+            .unwrap();
+        let t32 = h32.points.iter().find(|&&(n, _)| n == 8192).unwrap().1;
+        let t64 = h64.points.iter().find(|&&(n, _)| n == 8192).unwrap().1;
+        assert!(
+            t64 > t32 * 1.3,
+            "FP64 {t64} should be well above FP32 {t32}"
+        );
+    }
+
+    #[test]
+    fn fig6_trailing_fraction_grows_with_n() {
+        let rows = fig6(32768);
+        for platform in ["H100", "RTX4060", "MI250"] {
+            let series: Vec<&StageBreakdown> = rows
+                .iter()
+                .filter(|r| r.platform.contains(platform))
+                .collect();
+            assert!(series.len() >= 3);
+            let first = series.first().unwrap();
+            let last = series.last().unwrap();
+            // Stage 1 (panel + trailing) dominates more at large n …
+            let s1_first = first.fractions[0] + first.fractions[1];
+            let s1_last = last.fractions[0] + last.fractions[1];
+            assert!(
+                s1_last >= s1_first * 0.9,
+                "{platform}: stage-1 share shrank"
+            );
+            // … and the trailing/panel ratio increases with n (Fig. 6).
+            assert!(
+                last.trailing_over_panel > first.trailing_over_panel,
+                "{platform}: trailing/panel {:.2} -> {:.2} must grow",
+                first.trailing_over_panel,
+                last.trailing_over_panel
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_launch_scaling() {
+        let rows = fusion_ablation(4096);
+        // Unfused launches grow ~quadratically, fused ~linearly.
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        let growth_fused = last.launches_fused as f64 / first.launches_fused as f64;
+        let growth_unfused = last.launches_unfused as f64 / first.launches_unfused as f64;
+        assert!(growth_unfused > growth_fused * 2.0);
+        // Fusion must never be slower.
+        for r in &rows {
+            assert!(
+                r.seconds_fused <= r.seconds_unfused * 1.01,
+                "fusion slower at n={}",
+                r.n
+            );
+        }
+    }
+}

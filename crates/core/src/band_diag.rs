@@ -1,0 +1,219 @@
+//! Stage 1: dense → band reduction (Algorithms 1 & 2 of the paper).
+//!
+//! For each diagonal tile `k`, an **RQ sweep** factors the panel below the
+//! diagonal and updates the trailing submatrix, then an **LQ sweep** does
+//! the same to the transposed view — the same `GETSMQRT` code path runs
+//! both, exactly as Algorithm 2 line 4 reuses the QR kernels through
+//! Julia's lazy transpose. The result is an upper-triangular band matrix
+//! of bandwidth `TILESIZE` (diagonal tiles upper-triangular, first
+//! superdiagonal tiles lower-triangular), with the Householder vectors
+//! parked in the annihilated positions.
+
+use unisvd_gpu::{Device, ExecMode, GlobalBuffer};
+use unisvd_kernels::{ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr, DMat, DVec, HyperParams};
+use unisvd_matrix::BandMatrix;
+use unisvd_scalar::Scalar;
+
+/// One `GETSMQRT` sweep: panel factorisation of tile column `pc` with top
+/// tile row `tr0`, followed by the trailing submatrix update. `fused`
+/// selects the single-launch `FTSQRT`/`FTSMQR` kernels (the paper's
+/// optimisation, Fig. 2) or the row-by-row classic kernels (the ablation
+/// baseline).
+pub fn getsmqrt<T: Scalar>(
+    dev: &Device,
+    a: DMat<'_, T>,
+    tau: DVec<'_, T>,
+    p: &HyperParams,
+    pc: usize,
+    tr0: usize,
+    nbt: usize,
+    fused: bool,
+) {
+    let ts = p.tilesize;
+    if fused {
+        ftsqrt(dev, a, tau, p, pc, tr0, nbt);
+        ftsmqr(dev, a, tau, p, pc, tr0, nbt);
+    } else {
+        geqrt(dev, a, tau, p, tr0, pc);
+        let col0 = (pc + 1) * ts;
+        let ncols = (nbt - pc - 1) * ts;
+        if ncols > 0 {
+            unmqr(dev, a, tau, p, pc, tr0, col0, ncols);
+        }
+        for l in (tr0 + 1)..nbt {
+            tsqrt(dev, a, tau, p, tr0, pc, l);
+            if ncols > 0 {
+                tsmqr(dev, a, tau, p, pc, tr0, l, col0, ncols);
+            }
+        }
+    }
+}
+
+/// Stage-1 driver (Algorithm 2): reduces the `n × n` matrix in `a_buf` to
+/// band form of bandwidth `TILESIZE`. `n` must be a multiple of
+/// `TILESIZE` (the public API pads first).
+pub fn band_diag<T: Scalar>(
+    dev: &Device,
+    a_buf: &GlobalBuffer<T>,
+    tau_buf: &GlobalBuffer<T>,
+    n: usize,
+    p: &HyperParams,
+    fused: bool,
+) {
+    let nbt = p.nbtiles(n);
+    let a = DMat::new(a_buf, n);
+    let tau = DVec::new(tau_buf);
+    for k in 0..nbt.saturating_sub(1) {
+        // RQ sweep: annihilate the tile column below diagonal tile k.
+        getsmqrt(dev, a, tau, p, k, k, nbt, fused);
+        // LQ sweep: annihilate the tile row right of tile (k, k+1), via
+        // the lazy transpose (Algorithm 2 line 4).
+        getsmqrt(dev, a.t(), tau, p, k, k + 1, nbt, fused);
+    }
+    // Final diagonal tile (Algorithm 2 line 6).
+    geqrt(dev, a, tau, p, nbt - 1, nbt - 1);
+}
+
+/// Extracts the implied band matrix from the in-place factored storage:
+/// diagonal tiles contribute their upper triangle, first-superdiagonal
+/// tiles their lower triangle (everything else holds parked Householder
+/// vectors or implied zeros). The band is returned in the compute type
+/// with bulge headroom for stage 2.
+///
+/// # Panics
+/// In trace-only mode (there is no data to extract).
+pub fn extract_band<T: Scalar>(
+    dev: &Device,
+    a_buf: &GlobalBuffer<T>,
+    n: usize,
+    ts: usize,
+) -> BandMatrix<T::Accum> {
+    assert!(
+        dev.mode() == ExecMode::Numeric,
+        "band extraction requires numeric execution"
+    );
+    let a = DMat::new(a_buf, n);
+    // sub = 1 and sup = ts + 1 give the stage-2 chase its bulge room.
+    BandMatrix::from_dense(n, 1, ts + 1, |i, j| {
+        if j < i || j > i + ts {
+            return <T::Accum as unisvd_scalar::Real>::ZERO;
+        }
+        let (ti, tj) = (i / ts, j / ts);
+        let (li, lj) = (i % ts, j % ts);
+        if ti == tj {
+            // Diagonal tile: upper triangle is R.
+            a.read(i, j)
+        } else if tj == ti + 1 && lj <= li {
+            // Superdiagonal tile: lower triangle is the LQ's L.
+            a.read(i, j)
+        } else {
+            <T::Accum as unisvd_scalar::Real>::ZERO
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use unisvd_gpu::hw::h100;
+    use unisvd_matrix::Matrix;
+
+    const TS: usize = 8;
+
+    fn params() -> HyperParams {
+        HyperParams::new(TS, 4, 1)
+    }
+
+    fn run_band_diag(n: usize, fused: bool, seed: u64) -> (Matrix<f64>, BandMatrix<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a0 = Matrix::<f64>::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let dev = Device::numeric(h100());
+        let buf = dev.upload(a0.as_slice());
+        let tau = dev.alloc::<f64>(n);
+        band_diag(&dev, &buf, &tau, n, &params(), fused);
+        let band = extract_band(&dev, &buf, n, TS);
+        (a0, band)
+    }
+
+    #[test]
+    fn band_form_has_correct_bandwidth() {
+        let (_, band) = run_band_diag(4 * TS, true, 7);
+        assert_eq!(
+            band.max_abs_below_diag(),
+            0.0,
+            "below diagonal must be zero"
+        );
+        assert_eq!(
+            band.max_abs_beyond_sup(TS),
+            0.0,
+            "beyond bandwidth TILESIZE must be zero"
+        );
+        // The band is genuinely used (not the zero matrix).
+        assert!(band.fro_norm() > 1.0);
+    }
+
+    #[test]
+    fn band_preserves_frobenius_norm() {
+        // Orthogonal transforms preserve ‖A‖_F; the band must carry the
+        // full norm of the original matrix.
+        let (a0, band) = run_band_diag(3 * TS, true, 13);
+        let diff = (band.fro_norm() - a0.fro_norm()).abs() / a0.fro_norm();
+        assert!(diff < 1e-12, "relative norm drift {diff}");
+    }
+
+    #[test]
+    fn fused_and_unfused_band_agree() {
+        let (_, b1) = run_band_diag(3 * TS, true, 99);
+        let (_, b2) = run_band_diag(3 * TS, false, 99);
+        let n = b1.n();
+        let mut maxdiff = 0.0f64;
+        for i in 0..n {
+            for j in i..(i + TS + 1).min(n) {
+                maxdiff = maxdiff.max((b1.get(i, j) - b2.get(i, j)).abs());
+            }
+        }
+        assert!(
+            maxdiff < 1e-12,
+            "fused vs unfused band diverged by {maxdiff}"
+        );
+    }
+
+    #[test]
+    fn launch_count_scaling_linear_vs_quadratic() {
+        // Fig. 2 / §3.2: fused kernels launch O(nbt), unfused O(nbt²).
+        let count = |nbt: usize, fused: bool| {
+            let n = nbt * TS;
+            let dev = Device::numeric(h100());
+            let mut rng = StdRng::seed_from_u64(1);
+            let a0 = Matrix::<f64>::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+            let buf = dev.upload(a0.as_slice());
+            let tau = dev.alloc::<f64>(n);
+            band_diag(&dev, &buf, &tau, n, &params(), fused);
+            dev.summary().total_launches()
+        };
+        let (f4, f8) = (count(4, true), count(8, true));
+        let (u4, u8) = (count(4, false), count(8, false));
+        // Fused roughly doubles with nbt; unfused roughly quadruples.
+        assert!(
+            f8 < f4 * 3,
+            "fused launches {f4} -> {f8} should scale ~linearly"
+        );
+        assert!(
+            u8 > u4 * 3,
+            "unfused launches {u4} -> {u8} should scale ~quadratically"
+        );
+        assert!(
+            u8 > f8 * 4,
+            "unfused must launch far more kernels than fused"
+        );
+    }
+
+    #[test]
+    fn one_tile_matrix_reduces_to_triangle() {
+        let (a0, band) = run_band_diag(TS, true, 3);
+        assert_eq!(band.max_abs_below_diag(), 0.0);
+        let diff = (band.fro_norm() - a0.fro_norm()).abs() / a0.fro_norm();
+        assert!(diff < 1e-13);
+    }
+}

@@ -1,0 +1,604 @@
+//! The unified, portable singular value API — the paper's headline
+//! contribution: one function covering every backend (via the simulated
+//! [`Device`]) and every precision (via the [`Scalar`] trait), with
+//! hardware/precision-tuned hyperparameters selected automatically.
+//!
+//! Pipeline (§3): stage 1 dense→band on the device (`band_diag`), stage 2
+//! band→bidiagonal bulge chasing, stage 3 bidiagonal→values on the CPU.
+
+use crate::band2bi::band_to_bidiagonal;
+use crate::band_diag::{band_diag, extract_band};
+use crate::bidiag_svd::{account_stage3_cost, bdsqr, bisect, NoConvergence};
+use crate::dqds::dqds;
+use unisvd_gpu::{Device, ExecMode, TraceSummary, UnsupportedPrecision};
+use unisvd_kernels::HyperParams;
+use unisvd_matrix::Matrix;
+use unisvd_scalar::{Real, Scalar};
+
+/// Stage-3 bidiagonal solver selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Stage3Solver {
+    /// Implicit QR with Wilkinson shift + Demmel–Kahan zero-shift sweeps
+    /// (LAPACK `xBDSQR` strategy) — the default, as in the paper.
+    #[default]
+    Bdsqr,
+    /// Differential qd with shifts (LAPACK `xLASQ` family) — high relative
+    /// accuracy for tiny singular values.
+    Dqds,
+    /// Sturm bisection on the Golub–Kahan tridiagonal — slowest,
+    /// failure-proof.
+    Bisect,
+}
+
+/// Configuration of a singular value computation.
+#[derive(Clone, Copy, Debug)]
+pub struct SvdConfig {
+    /// Kernel hyperparameters; `None` selects the brute-force-tuned
+    /// defaults for the device's backend and the input precision (§3.3).
+    pub params: Option<HyperParams>,
+    /// Use the fused `FTSQRT`/`FTSMQR` kernels (the paper's default) or
+    /// the row-by-row classic kernels (the Fig. 2 ablation baseline).
+    pub fused: bool,
+    /// Stage-3 solver.
+    pub solver: Stage3Solver,
+    /// Pre-scale the input so its largest entry is O(1), and scale the
+    /// singular values back afterwards. Protects narrow storage formats
+    /// (FP16 overflows at 65 504) — the "default rescaling" the paper
+    /// lists as future work (§3.2). On by default.
+    pub rescale: bool,
+}
+
+impl Default for SvdConfig {
+    fn default() -> Self {
+        SvdConfig {
+            params: None,
+            fused: true,
+            solver: Stage3Solver::Bdsqr,
+            rescale: true,
+        }
+    }
+}
+
+/// Everything a singular value computation produces.
+#[derive(Clone, Debug)]
+pub struct SvdOutput {
+    /// Singular values in descending order, in `f64` (empty in trace-only
+    /// mode).
+    pub values: Vec<f64>,
+    /// Hyperparameters actually used.
+    pub params: HyperParams,
+    /// Padded problem size (next multiple of `TILESIZE`).
+    pub padded_n: usize,
+    /// Simulated per-stage time accounting for this solve.
+    pub summary: TraceSummary,
+}
+
+/// Errors of the unified API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SvdError {
+    /// The (device, precision) pair is outside the support matrix.
+    Unsupported(UnsupportedPrecision),
+    /// Stage 3 failed to converge (pathological input).
+    NoConvergence(NoConvergence),
+}
+
+impl std::fmt::Display for SvdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvdError::Unsupported(u) => write!(f, "{u}"),
+            SvdError::NoConvergence(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SvdError {}
+
+impl From<UnsupportedPrecision> for SvdError {
+    fn from(u: UnsupportedPrecision) -> Self {
+        SvdError::Unsupported(u)
+    }
+}
+
+/// Resolves the hyperparameters for a device/precision/config, clamping
+/// `TILESIZE` so tiny matrices still factor (at least one tile).
+pub fn resolve_params<T: Scalar>(dev: &Device, cfg: &SvdConfig, n: usize) -> HyperParams {
+    let p = cfg
+        .params
+        .unwrap_or_else(|| HyperParams::tuned(dev.hw().backend, T::KIND));
+    if n >= p.tilesize {
+        p
+    } else {
+        // Shrink to the largest power-of-two tile ≤ n (n ≥ 4 assumed by
+        // the kernels; the driver pads smaller inputs up to 4).
+        let ts = (1usize << (usize::BITS - 1 - n.leading_zeros())).clamp(4, p.tilesize);
+        HyperParams::new(ts, ts.min(p.colperblock), 1)
+    }
+}
+
+/// Computes all singular values of the square matrix `a` on device `dev`.
+///
+/// This is the paper's `svdvals` entry point (Algorithm 2 wrapper): a
+/// single function for every hardware backend and storage precision.
+pub fn svdvals<T: Scalar>(a: &Matrix<T>, dev: &Device) -> Result<Vec<f64>, SvdError> {
+    svdvals_with(a, dev, &SvdConfig::default()).map(|o| o.values)
+}
+
+/// [`svdvals`] with explicit configuration and full output.
+pub fn svdvals_with<T: Scalar>(
+    a: &Matrix<T>,
+    dev: &Device,
+    cfg: &SvdConfig,
+) -> Result<SvdOutput, SvdError> {
+    dev.supports(T::KIND)?;
+    let (m, n) = (a.rows(), a.cols());
+    let mindim = m.min(n);
+    if mindim == 0 {
+        return Ok(SvdOutput {
+            values: Vec::new(),
+            params: HyperParams::reference(),
+            padded_n: 0,
+            summary: dev.summary(),
+        });
+    }
+
+    // Rescale so the largest entry is O(1): σ(cA) = c·σ(A), and narrow
+    // storage formats (FP16) overflow otherwise.
+    let scale = if cfg.rescale {
+        let m = a.max_abs();
+        if m > 0.0 && !(0.25..=4.0).contains(&m) {
+            m
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+
+    // Tall-and-skinny fast path (the paper's §5 future-work item): for
+    // m ≥ 2n, QR-factor first — σ(A) = σ(R) with R only n × n, so the
+    // device pipeline runs on an n × n problem instead of an m × m padded
+    // one. (Host-side preprocessing, like the paper's host stage 3.)
+    if m >= 2 * n && n > 0 && dev.mode() == ExecMode::Numeric {
+        let mut qr = Matrix::<f64>::from_fn(m, n, |i, j| a[(i, j)].to_f64() / scale);
+        let _tau = unisvd_matrix::reference::householder_qr(&mut qr);
+        let r = Matrix::<T>::from_fn(n, n, |i, j| {
+            if i <= j {
+                T::from_f64(qr[(i, j)])
+            } else {
+                T::zero()
+            }
+        });
+        let sub = SvdConfig {
+            rescale: false,
+            ..*cfg
+        };
+        let mut out = svdvals_with(&r, dev, &sub)?;
+        if scale != 1.0 {
+            for v in &mut out.values {
+                *v *= scale;
+            }
+        }
+        return Ok(out);
+    }
+    if n >= 2 * m && m > 0 && dev.mode() == ExecMode::Numeric {
+        // Wide: run the tall path on the transpose (same singular values).
+        let sub = *cfg;
+        return svdvals_with(&a.transposed(), dev, &sub);
+    }
+
+    // Other non-square inputs are zero-padded to square: padding with
+    // zero rows/columns leaves the nonzero singular values unchanged and
+    // only appends zeros, which are truncated below.
+    let square = m.max(n);
+    let p = resolve_params::<T>(dev, cfg, square);
+    let ts = p.tilesize;
+    let padded = square.div_ceil(ts) * ts;
+
+    let host: Vec<T> = {
+        let mut h = vec![T::zero(); padded * padded];
+        for j in 0..n {
+            for i in 0..m {
+                h[j * padded + i] = T::from_f64(a[(i, j)].to_f64() / scale);
+            }
+        }
+        h
+    };
+    let buf = dev.upload(&host);
+    let tau = dev.alloc::<T>(padded);
+
+    run_pipeline::<T>(dev, &buf, &tau, padded, &p, cfg).map(|mut values| {
+        values.truncate(mindim);
+        if scale != 1.0 {
+            for v in &mut values {
+                *v *= scale;
+            }
+        }
+        SvdOutput {
+            values,
+            params: p,
+            padded_n: padded,
+            summary: dev.summary(),
+        }
+    })
+}
+
+/// Cost-only solve for paper-scale size sweeps: runs the identical launch
+/// stream on a trace-only device without any data. Returns the per-stage
+/// summary accumulated since the device's last reset.
+pub fn svdvals_cost<T: Scalar>(
+    n: usize,
+    dev: &Device,
+    cfg: &SvdConfig,
+) -> Result<TraceSummary, SvdError> {
+    assert_eq!(
+        dev.mode(),
+        ExecMode::TraceOnly,
+        "use svdvals_with on numeric devices"
+    );
+    dev.supports(T::KIND)?;
+    let p = resolve_params::<T>(dev, cfg, n);
+    let ts = p.tilesize;
+    let padded = n.div_ceil(ts) * ts;
+    let buf = dev.alloc::<T>(0);
+    let tau = dev.alloc::<T>(0);
+    run_pipeline::<T>(dev, &buf, &tau, padded, &p, cfg)?;
+    Ok(dev.summary())
+}
+
+/// Batched singular values: solves many independent problems, one device
+/// stream each, in parallel on the host pool — the many-small-adapters
+/// pattern of the LoRA workloads that motivate the paper's introduction.
+/// Returns one result per input, in order.
+pub fn svdvals_batched<T: Scalar>(
+    mats: &[Matrix<T>],
+    hw: &unisvd_gpu::HardwareDescriptor,
+    cfg: &SvdConfig,
+) -> Vec<Result<Vec<f64>, SvdError>> {
+    use rayon::prelude::*;
+    mats.par_iter()
+        .map(|a| {
+            let dev = Device::numeric(hw.clone());
+            svdvals_with(a, &dev, cfg).map(|o| o.values)
+        })
+        .collect()
+}
+
+fn run_pipeline<T: Scalar>(
+    dev: &Device,
+    buf: &unisvd_gpu::GlobalBuffer<T>,
+    tau: &unisvd_gpu::GlobalBuffer<T>,
+    padded: usize,
+    p: &HyperParams,
+    cfg: &SvdConfig,
+) -> Result<Vec<f64>, SvdError> {
+    let fused = cfg.fused;
+    // Host runtime overhead per solve (dispatch, allocation, JIT cache
+    // checks in the Julia original) — matters only at small sizes.
+    dev.cpu_work(
+        unisvd_gpu::KernelClass::Other,
+        "driver",
+        0.8e-3 * dev.hw().cpu_flops,
+        1.0,
+    );
+
+    // Stage 1: dense → band (device kernels).
+    band_diag(dev, buf, tau, padded, p, fused);
+
+    // Stage 2: band → bidiagonal (bulge chasing; device-accounted).
+    let mut band = if dev.mode() == ExecMode::Numeric {
+        extract_band::<T>(dev, buf, padded, p.tilesize)
+    } else {
+        unisvd_matrix::BandMatrix::zeros(padded.max(1), 0, 0)
+    };
+    let bi = band_to_bidiagonal(dev, &mut band, p.tilesize, T::KIND, p.tilesize);
+
+    // Stage 3: bidiagonal → singular values (CPU, like the paper's LAPACK
+    // call).
+    account_stage3_cost(dev, padded);
+    if dev.mode() == ExecMode::Numeric {
+        let sv = match cfg.solver {
+            Stage3Solver::Bdsqr => bdsqr(&bi).map_err(SvdError::NoConvergence)?,
+            Stage3Solver::Dqds => dqds(&bi).map_err(SvdError::NoConvergence)?,
+            Stage3Solver::Bisect => bisect(&bi),
+        };
+        Ok(sv.into_iter().map(|x| x.to_f64()).collect())
+    } else {
+        Ok(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unisvd_gpu::hw::{h100, m1_pro, mi250};
+    use unisvd_matrix::{reference::sv_relative_error, testmat, SvDistribution};
+    use unisvd_scalar::F16;
+
+    fn small_cfg() -> SvdConfig {
+        SvdConfig {
+            params: Some(HyperParams::new(8, 4, 1)),
+            fused: true,
+            ..SvdConfig::default()
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_exact() {
+        let n = 16;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| if i == j { (n - i) as f64 } else { 0.0 });
+        let dev = Device::numeric(h100());
+        let sv = svdvals_with(&a, &dev, &small_cfg()).unwrap().values;
+        for i in 0..n {
+            assert!(
+                (sv[i] - (n - i) as f64).abs() < 1e-12,
+                "σ[{i}] = {} want {}",
+                sv[i],
+                n - i
+            );
+        }
+    }
+
+    #[test]
+    fn known_singular_values_fp64() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for dist in SvDistribution::ALL {
+            let (a, truth) = testmat::test_matrix::<f64, _>(32, dist, false, &mut rng);
+            let dev = Device::numeric(h100());
+            let sv = svdvals_with(&a, &dev, &small_cfg()).unwrap().values;
+            let err = sv_relative_error(&sv, &truth);
+            assert!(err < 1e-13, "{dist:?}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn known_singular_values_fp32() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (a, truth) =
+            testmat::test_matrix::<f32, _>(32, SvDistribution::Arithmetic, false, &mut rng);
+        let dev = Device::numeric(h100());
+        let sv = svdvals_with(&a, &dev, &small_cfg()).unwrap().values;
+        let err = sv_relative_error(&sv, &truth);
+        assert!(err < 5e-6, "FP32 relative error {err}");
+    }
+
+    #[test]
+    fn known_singular_values_fp16() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (a, truth) =
+            testmat::test_matrix::<F16, _>(32, SvDistribution::Arithmetic, false, &mut rng);
+        let dev = Device::numeric(h100());
+        let sv = svdvals_with(&a, &dev, &small_cfg()).unwrap().values;
+        let err = sv_relative_error(&sv, &truth);
+        // Table 1 reports ~4e-3 .. 1e-2 for FP16.
+        assert!(err < 3e-2, "FP16 relative error {err}");
+    }
+
+    #[test]
+    fn non_tile_multiple_size_is_padded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (a, truth) =
+            testmat::test_matrix::<f64, _>(27, SvDistribution::Logarithmic, false, &mut rng);
+        let dev = Device::numeric(h100());
+        let out = svdvals_with(&a, &dev, &small_cfg()).unwrap();
+        assert_eq!(out.padded_n, 32);
+        assert_eq!(out.values.len(), 27);
+        let err = sv_relative_error(&out.values, &truth);
+        assert!(err < 1e-12, "padded solve error {err}");
+    }
+
+    #[test]
+    fn tiny_matrix_autoshrinks_tilesize() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (a, truth) =
+            testmat::test_matrix::<f64, _>(5, SvDistribution::Arithmetic, false, &mut rng);
+        let dev = Device::numeric(h100());
+        let out = svdvals_with(&a, &dev, &SvdConfig::default()).unwrap();
+        assert!(out.params.tilesize <= 8);
+        let err = sv_relative_error(&out.values, &truth);
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn support_matrix_enforced() {
+        let a16 = Matrix::<F16>::identity(8);
+        let a64 = Matrix::<f64>::identity(8);
+        let amd = Device::numeric(mi250());
+        let apple = Device::numeric(m1_pro());
+        assert!(matches!(svdvals(&a16, &amd), Err(SvdError::Unsupported(_))));
+        assert!(matches!(
+            svdvals(&a64, &apple),
+            Err(SvdError::Unsupported(_))
+        ));
+        // FP32 works everywhere.
+        let a32 = Matrix::<f32>::identity(8);
+        assert!(svdvals(&a32, &amd).is_ok());
+        assert!(svdvals(&a32, &apple).is_ok());
+    }
+
+    #[test]
+    fn non_square_supported_via_padding() {
+        let mut rng = StdRng::seed_from_u64(77);
+        // 24×10 tall matrix with known singular values via padding trick:
+        // embed a 10×10 matrix with known σ into the top block.
+        let (a10, truth) =
+            testmat::test_matrix::<f64, _>(10, SvDistribution::Arithmetic, false, &mut rng);
+        let tall = Matrix::<f64>::from_fn(24, 10, |i, j| if i < 10 { a10[(i, j)] } else { 0.0 });
+        let dev = Device::numeric(h100());
+        let sv = svdvals(&tall, &dev).unwrap();
+        assert_eq!(sv.len(), 10, "min(m, n) singular values");
+        let err = sv_relative_error(&sv, &truth);
+        assert!(err < 1e-12, "tall-matrix error {err}");
+        // Wide matrix: transpose gives the same values.
+        let wide = tall.transposed();
+        let sv_w = svdvals(&wide, &dev).unwrap();
+        for i in 0..10 {
+            assert!((sv[i] - sv_w[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_solves_match_individual() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let mats: Vec<Matrix<f32>> = (0..6)
+            .map(|_| {
+                testmat::test_matrix::<f32, _>(24, SvDistribution::Arithmetic, false, &mut rng).0
+            })
+            .collect();
+        let hw = h100();
+        let cfg = SvdConfig::default();
+        let batched = svdvals_batched(&mats, &hw, &cfg);
+        assert_eq!(batched.len(), 6);
+        for (a, res) in mats.iter().zip(&batched) {
+            let dev = Device::numeric(hw.clone());
+            let single = svdvals(a, &dev).unwrap();
+            assert_eq!(
+                res.as_ref().unwrap(),
+                &single,
+                "batched must equal individual"
+            );
+        }
+    }
+
+    #[test]
+    fn tall_skinny_qr_fast_path() {
+        let mut rng = StdRng::seed_from_u64(88);
+        // 96×12: triggers the m ≥ 2n QR-first path. Build with known σ by
+        // embedding a 12×12 block and an orthogonal tall factor.
+        let (a12, truth) =
+            testmat::test_matrix::<f64, _>(12, SvDistribution::Logarithmic, false, &mut rng);
+        let q = testmat::haar_orthogonal(96, &mut rng);
+        let tall = Matrix::<f64>::from_fn(96, 12, |i, j| {
+            let mut acc = 0.0;
+            for k in 0..12 {
+                acc += q[(i, k)] * a12[(k, j)];
+            }
+            acc
+        });
+        let dev = Device::numeric(h100());
+        let out = svdvals_with(&tall, &dev, &SvdConfig::default()).unwrap();
+        assert_eq!(out.values.len(), 12);
+        // The device problem was 12×12-sized, not 96×96 (padded_n ≤ 16).
+        assert!(
+            out.padded_n <= 16,
+            "fast path should shrink the device problem"
+        );
+        let err = sv_relative_error(&out.values, &truth);
+        assert!(err < 1e-12, "tall-skinny error {err}");
+        // Wide input takes the transposed path.
+        let wide = tall.transposed();
+        let sv_w = svdvals(&wide, &dev).unwrap();
+        for i in 0..12 {
+            assert!((out.values[i] - sv_w[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rescaling_protects_fp16_range() {
+        // Entries of 30000 are representable in FP16 (max 65504), but the
+        // factorisation's intermediate column norms (√n·30000 ≈ 120000)
+        // overflow the FP16 *storage* writes without rescaling.
+        let n = 16;
+        let a = Matrix::<F16>::from_fn(n, n, |_, _| F16::from_f64(30000.0));
+        let dev = Device::numeric(h100());
+        let sv = svdvals(&a, &dev).unwrap();
+        assert!(
+            sv.iter().all(|s| s.is_finite()),
+            "rescaled solve must stay finite"
+        );
+        // Rank-1 all-equal matrix: σ₁ = n·30000.
+        let want = (n as f64) * 30000.0;
+        assert!(
+            (sv[0] - want).abs() / want < 1e-2,
+            "σ₁ = {} want {want}",
+            sv[0]
+        );
+        // Without rescaling the pipeline overflows to inf/NaN in storage:
+        // either the solve errors out (NaN-poisoned bidiagonal never
+        // converges) or the values are visibly wrong.
+        let cfg = SvdConfig {
+            rescale: false,
+            ..SvdConfig::default()
+        };
+        match svdvals_with(&a, &dev, &cfg) {
+            Err(SvdError::NoConvergence(_)) => {} // NaN-poisoned, as expected
+            Err(e) => panic!("unexpected error {e}"),
+            Ok(out) => {
+                let sv_raw = out.values;
+                assert!(
+                    sv_raw.iter().any(|s| !s.is_finite()) || (sv_raw[0] - want).abs() / want > 0.05,
+                    "unscaled FP16 should visibly degrade: {:?}",
+                    &sv_raw[..3.min(sv_raw.len())]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solver_selection_agrees() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (a, truth) =
+            testmat::test_matrix::<f64, _>(32, SvDistribution::Logarithmic, false, &mut rng);
+        let dev = Device::numeric(h100());
+        for solver in [
+            Stage3Solver::Bdsqr,
+            Stage3Solver::Dqds,
+            Stage3Solver::Bisect,
+        ] {
+            let cfg = SvdConfig {
+                solver,
+                params: Some(HyperParams::new(8, 4, 1)),
+                ..SvdConfig::default()
+            };
+            let sv = svdvals_with(&a, &dev, &cfg).unwrap().values;
+            let err = sv_relative_error(&sv, &truth);
+            assert!(err < 1e-12, "{solver:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::<f64>::zeros(0, 0);
+        let dev = Device::numeric(h100());
+        assert!(svdvals(&a, &dev).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unfused_gives_same_values() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (a, _) =
+            testmat::test_matrix::<f64, _>(24, SvDistribution::QuarterCircle, false, &mut rng);
+        let dev = Device::numeric(h100());
+        let fused = svdvals_with(&a, &dev, &small_cfg()).unwrap().values;
+        let mut cfg = small_cfg();
+        cfg.fused = false;
+        let dev2 = Device::numeric(h100());
+        let unfused = svdvals_with(&a, &dev2, &cfg).unwrap().values;
+        for i in 0..24 {
+            assert!((fused[i] - unfused[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn trace_only_solve_produces_stage_breakdown() {
+        let dev = Device::trace_only(h100());
+        let s = svdvals_cost::<f32>(2048, &dev, &SvdConfig::default()).unwrap();
+        use unisvd_gpu::KernelClass::*;
+        assert!(s.seconds_of(PanelFactorization) > 0.0);
+        assert!(s.seconds_of(TrailingUpdate) > 0.0);
+        assert!(s.seconds_of(BandToBidiagonal) > 0.0);
+        assert!(s.seconds_of(BidiagonalSvd) > 0.0);
+        assert!(s.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn summary_attributes_time_to_stages() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (a, _) = testmat::test_matrix::<f64, _>(32, SvDistribution::Arithmetic, true, &mut rng);
+        let dev = Device::numeric(h100());
+        let out = svdvals_with(&a, &dev, &small_cfg()).unwrap();
+        use unisvd_gpu::KernelClass::*;
+        assert!(out.summary.seconds_of(PanelFactorization) > 0.0);
+        assert!(out.summary.seconds_of(TrailingUpdate) > 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The simulated device: launch API, execution modes, and time accounting.
+
+use crate::buffer::GlobalBuffer;
+use crate::cost::{cost_of_cpu_work, cost_of_launch, cost_of_transfer, KernelClass, LaunchSpec};
+use crate::hw::{HardwareDescriptor, UnsupportedPrecision};
+use crate::trace::{LaunchRecord, Trace, TraceSummary};
+use crate::workgroup::Workgroup;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use unisvd_scalar::{PrecisionKind, Real, Scalar};
+
+/// Whether kernel bodies actually execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run kernel bodies (real numerics) *and* account costs.
+    Numeric,
+    /// Account costs only; kernel bodies are skipped and no data exists.
+    /// Used for paper-scale size sweeps (n up to 131072) where the event
+    /// stream — launches, flops, bytes — is identical to a numeric run.
+    TraceOnly,
+}
+
+/// A simulated GPU: a hardware descriptor plus a launch stream with
+/// simulated timing. All launches on one device serialise on a single
+/// stream, matching the paper's benchmarking setup (single stream, one
+/// synchronisation at the end, §3.4).
+pub struct Device {
+    desc: HardwareDescriptor,
+    mode: ExecMode,
+    trace: Mutex<Trace>,
+    race_check: bool,
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+impl Device {
+    /// Creates a device in the given execution mode.
+    pub fn new(desc: HardwareDescriptor, mode: ExecMode) -> Self {
+        Device {
+            desc,
+            mode,
+            trace: Mutex::new(Trace::new(false)),
+            race_check: false,
+            epoch: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Enables the cross-workgroup write-write race detector: buffers
+    /// allocated through this device get ownership tags and any two
+    /// workgroups of one launch writing the same global element panic
+    /// with a diagnostic. Costs one atomic op per global write — use in
+    /// tests, not benchmarks.
+    pub fn race_checked(mut self) -> Self {
+        self.race_check = true;
+        self
+    }
+
+    /// Numeric-mode device (the default for correctness work).
+    pub fn numeric(desc: HardwareDescriptor) -> Self {
+        Self::new(desc, ExecMode::Numeric)
+    }
+
+    /// Trace-only device for large-size performance sweeps.
+    pub fn trace_only(desc: HardwareDescriptor) -> Self {
+        Self::new(desc, ExecMode::TraceOnly)
+    }
+
+    /// Enables retention of every individual launch record.
+    pub fn keep_records(self) -> Self {
+        *self.trace.lock() = Trace::new(true);
+        self
+    }
+
+    /// Hardware description.
+    pub fn hw(&self) -> &HardwareDescriptor {
+        &self.desc
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Capability check for a precision on this device.
+    pub fn supports(&self, p: PrecisionKind) -> Result<(), UnsupportedPrecision> {
+        self.desc.supports(p)
+    }
+
+    /// Launches a kernel. The body runs once per workgroup (in parallel on
+    /// the host thread pool) in [`ExecMode::Numeric`]; in trace-only mode
+    /// only the cost is accounted. The body must confine cross-workgroup
+    /// global writes to disjoint locations (see [`GlobalBuffer`]).
+    pub fn launch<R, F>(&self, spec: &LaunchSpec, body: F)
+    where
+        R: Real,
+        F: Fn(&mut Workgroup<R>) + Sync,
+    {
+        let cost = cost_of_launch(&self.desc, spec);
+        self.trace.lock().push_kernel(
+            spec.class, spec.label, spec.grid, spec.block, spec.flops, spec.bytes, cost,
+        );
+        if self.mode == ExecMode::Numeric {
+            // Numeric geometry may differ from the costed geometry for
+            // purely computational parameters (SPLITK); see `ExecGeometry`.
+            let (block, rpt, smem) = match spec.exec {
+                Some(e) => (e.block, e.regs_per_thread, e.smem_elems),
+                None => (spec.block, spec.regs_per_thread, spec.smem_elems),
+            };
+            let epoch = self
+                .epoch
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
+            let race = self.race_check;
+            if spec.grid == 1 {
+                // Avoid thread-pool overhead for the (frequent) 1-block
+                // panel kernels.
+                if race {
+                    crate::buffer::set_race_ctx(epoch, 0, true);
+                }
+                let mut wg = Workgroup::new(0, block, rpt, smem);
+                body(&mut wg);
+                if race {
+                    crate::buffer::set_race_ctx(0, 0, false);
+                }
+            } else {
+                (0..spec.grid).into_par_iter().for_each(|g| {
+                    if race {
+                        crate::buffer::set_race_ctx(epoch, g as u64, true);
+                    }
+                    let mut wg = Workgroup::new(g, block, rpt, smem);
+                    body(&mut wg);
+                    if race {
+                        crate::buffer::set_race_ctx(0, 0, false);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Accounts a host↔device transfer of `bytes` (hybrid baselines).
+    pub fn transfer(&self, label: &'static str, bytes: f64) {
+        let seconds = cost_of_transfer(&self.desc, bytes);
+        self.trace.lock().push(LaunchRecord {
+            class: KernelClass::Transfer,
+            label,
+            grid: 0,
+            block: 0,
+            seconds,
+            flops: 0.0,
+            bytes,
+            occupancy: 0.0,
+            spill: 1.0,
+        });
+    }
+
+    /// Accounts host CPU work of `flops` at `efficiency` (hybrid baselines
+    /// and the stage-3 CPU solver).
+    pub fn cpu_work(&self, class: KernelClass, label: &'static str, flops: f64, efficiency: f64) {
+        let seconds = cost_of_cpu_work(&self.desc, flops, efficiency);
+        self.trace.lock().push(LaunchRecord {
+            class,
+            label,
+            grid: 0,
+            block: 0,
+            seconds,
+            flops,
+            bytes: 0.0,
+            occupancy: 0.0,
+            spill: 1.0,
+        });
+    }
+
+    /// Allocates a device buffer from host data (numeric mode) or a
+    /// zero-length placeholder (trace mode — no memory is touched).
+    pub fn upload<T: Scalar>(&self, host: &[T]) -> GlobalBuffer<T> {
+        let buf = match self.mode {
+            ExecMode::Numeric => GlobalBuffer::from_vec(host.to_vec()),
+            ExecMode::TraceOnly => GlobalBuffer::from_vec(Vec::new()),
+        };
+        if self.race_check {
+            buf.with_race_tags()
+        } else {
+            buf
+        }
+    }
+
+    /// Allocates a zero-filled device buffer of `len` elements (numeric
+    /// mode) or a placeholder (trace mode).
+    pub fn alloc<T: Scalar>(&self, len: usize) -> GlobalBuffer<T> {
+        let buf = match self.mode {
+            ExecMode::Numeric => GlobalBuffer::filled(len, T::zero()),
+            ExecMode::TraceOnly => GlobalBuffer::from_vec(Vec::new()),
+        };
+        if self.race_check {
+            buf.with_race_tags()
+        } else {
+            buf
+        }
+    }
+
+    /// Summary of all accounted events since the last reset.
+    pub fn summary(&self) -> TraceSummary {
+        self.trace.lock().summary()
+    }
+
+    /// Retained records (only if [`Device::keep_records`] was used).
+    pub fn records(&self) -> Vec<LaunchRecord> {
+        self.trace.lock().records().to_vec()
+    }
+
+    /// Total simulated seconds on this device's stream.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.summary().total_seconds()
+    }
+
+    /// Clears the trace.
+    pub fn reset(&self) {
+        self.trace.lock().reset();
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Device({}, {:?})", self.desc.name, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::h100;
+
+    fn spec(grid: usize, block: usize) -> LaunchSpec {
+        let mut s = LaunchSpec::new(KernelClass::Other, "test", grid, block);
+        s.flops = 1000.0;
+        s.bytes = 100.0;
+        s
+    }
+
+    #[test]
+    fn numeric_launch_runs_all_workgroups() {
+        let dev = Device::numeric(h100());
+        let buf = dev.upload(&vec![0.0f64; 64]);
+        dev.launch::<f64, _>(&spec(8, 8), |wg| {
+            let g = wg.group_id();
+            wg.step(|t| buf.write(g * 8 + t.tid, (g * 8 + t.tid) as f64));
+        });
+        let v = buf.to_vec();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as f64));
+        assert_eq!(dev.summary().total_launches(), 1);
+        assert!(dev.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn trace_only_skips_bodies_but_accounts_time() {
+        let dev = Device::trace_only(h100());
+        let executed = std::sync::atomic::AtomicBool::new(false);
+        dev.launch::<f32, _>(&spec(4, 32), |_wg| {
+            executed.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(!executed.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(dev.summary().total_launches(), 1);
+        assert!(dev.elapsed_seconds() >= h100().launch_overhead_s);
+        // Upload in trace mode allocates nothing.
+        let b = dev.upload(&[1.0f64, 2.0]);
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn transfers_and_cpu_work_accumulate() {
+        let dev = Device::numeric(h100());
+        dev.transfer("h2d", 1e6);
+        dev.cpu_work(KernelClass::BidiagonalSvd, "bdsqr", 1e6, 0.2);
+        let s = dev.summary();
+        assert_eq!(s.launches_of(KernelClass::Transfer), 1);
+        assert_eq!(s.launches_of(KernelClass::BidiagonalSvd), 1);
+        assert!(s.total_seconds() > 0.0);
+        dev.reset();
+        assert_eq!(dev.summary().total_launches(), 0);
+    }
+
+    #[test]
+    fn keep_records_retains_individual_launches() {
+        let dev = Device::numeric(h100()).keep_records();
+        dev.launch::<f64, _>(&spec(1, 16), |_| {});
+        dev.launch::<f64, _>(&spec(2, 16), |_| {});
+        let recs = dev.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].grid, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the roofline cost model: times must respond
+//! monotonically and sanely to every input the model consumes.
+
+use proptest::prelude::*;
+use unisvd_gpu::{cost_of_launch, hw, KernelClass, LaunchSpec};
+use unisvd_scalar::PrecisionKind;
+
+fn spec(grid: usize, block: usize, flops: f64, bytes: f64) -> LaunchSpec {
+    let mut s = LaunchSpec::new(KernelClass::Other, "prop", grid, block);
+    s.flops = flops;
+    s.bytes = bytes;
+    s.precision = PrecisionKind::Fp32;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More work never takes less time (monotonicity in flops and bytes).
+    #[test]
+    fn monotone_in_work(
+        grid in 1usize..4096,
+        block_pow in 4u32..9,
+        flops in 1e3f64..1e12,
+        bytes in 1e2f64..1e10,
+        factor in 1.1f64..10.0,
+    ) {
+        let block = 1usize << block_pow;
+        let h = hw::h100();
+        let t0 = cost_of_launch(&h, &spec(grid, block, flops, bytes)).seconds;
+        let t_flops = cost_of_launch(&h, &spec(grid, block, flops * factor, bytes)).seconds;
+        let t_bytes = cost_of_launch(&h, &spec(grid, block, flops, bytes * factor)).seconds;
+        prop_assert!(t_flops >= t0);
+        prop_assert!(t_bytes >= t0);
+    }
+
+    /// Launch overhead is a strict floor.
+    #[test]
+    fn overhead_floor(
+        grid in 1usize..1000,
+        block_pow in 0u32..10,
+        flops in 0.0f64..1e9,
+    ) {
+        let block = 1usize << block_pow;
+        for h in hw::all_platforms() {
+            let t = cost_of_launch(&h, &spec(grid, block, flops, 0.0)).seconds;
+            prop_assert!(t >= h.launch_overhead_s);
+        }
+    }
+
+    /// A faster device (more FLOPs, more bandwidth) is never slower on
+    /// the same launch: H100 dominates A100 spec-for-spec.
+    #[test]
+    fn h100_dominates_a100(
+        grid in 1usize..10000,
+        flops in 1e6f64..1e13,
+        bytes in 1e4f64..1e11,
+    ) {
+        let s = spec(grid, 256, flops, bytes);
+        let th = cost_of_launch(&hw::h100(), &s).seconds;
+        let ta = cost_of_launch(&hw::a100(), &s).seconds;
+        // Allow the tiny launch-overhead difference.
+        prop_assert!(th <= ta + 1e-6, "H100 {th} vs A100 {ta}");
+    }
+
+    /// FP64 work is never faster than the same FP32 work (peak ratio ≤ 1
+    /// on every platform that supports FP64).
+    #[test]
+    fn fp64_never_faster(
+        grid in 1usize..4096,
+        flops in 1e6f64..1e12,
+    ) {
+        for h in hw::all_platforms() {
+            if h.supports(PrecisionKind::Fp64).is_err() {
+                continue;
+            }
+            let mut s32 = spec(grid, 256, flops, 0.0);
+            let mut s64 = spec(grid, 256, flops, 0.0);
+            s32.precision = PrecisionKind::Fp32;
+            s64.precision = PrecisionKind::Fp64;
+            let t32 = cost_of_launch(&h, &s32).seconds;
+            let t64 = cost_of_launch(&h, &s64).seconds;
+            prop_assert!(t64 >= t32 * 0.999, "{}: fp64 {t64} < fp32 {t32}", h.name);
+        }
+    }
+
+    /// Occupancy is in [0, 1] and spill is in [1, cap] for any geometry.
+    #[test]
+    fn bounded_diagnostics(
+        grid in 1usize..100000,
+        block_pow in 0u32..10,
+        regs in 0usize..512,
+        smem in 0usize..20000,
+        stream_kb in 0u64..128,
+    ) {
+        let block = 1usize << block_pow;
+        let mut s = spec(grid, block, 1e6, 1e6);
+        s.regs_per_thread = regs;
+        s.smem_elems = smem;
+        s.l1_stream_bytes = stream_kb * 1024;
+        for h in hw::all_platforms() {
+            let c = cost_of_launch(&h, &s);
+            prop_assert!((0.0..=1.0).contains(&c.occupancy));
+            prop_assert!((1.0..=8.0).contains(&c.spill));
+            prop_assert!(c.seconds.is_finite() && c.seconds > 0.0);
+        }
+    }
+
+    /// Bigger L1 working sets never reduce the spill penalty.
+    #[test]
+    fn spill_monotone_in_working_set(
+        stream_a in 0u64..200_000,
+        extra in 1u64..200_000,
+    ) {
+        let h = hw::mi250(); // smallest L1, most sensitive
+        let mut sa = spec(64, 64, 1e9, 1e6);
+        let mut sb = spec(64, 64, 1e9, 1e6);
+        sa.l1_stream_bytes = stream_a;
+        sb.l1_stream_bytes = stream_a + extra;
+        let ca = cost_of_launch(&h, &sa);
+        let cb = cost_of_launch(&h, &sb);
+        prop_assert!(cb.spill >= ca.spill);
+    }
+}

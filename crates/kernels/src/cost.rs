@@ -1,0 +1,286 @@
+//! Launch-spec builders: event counts and resource footprints per kernel.
+//!
+//! Every formula is derived by counting what the kernel bodies in
+//! [`crate::panel`] / [`crate::update`] actually do. `flops` are totals,
+//! `bytes` are global-memory traffic in *storage* precision, and
+//! `critical_path` is the FLOP count along the longest serial dependency
+//! chain of one workgroup (what bounds a single-block panel kernel).
+//!
+//! SPLITK enters only here: it reshapes the panel launch (block =
+//! `SPLITK × TILESIZE`), shortens the per-column chain by `1/SPLITK` and
+//! adds an inter-thread reduction term (`§3.2`: "increases occupancy but
+//! introduces additional inter-thread communication").
+
+use crate::params::HyperParams;
+use unisvd_gpu::{ExecGeometry, KernelClass, LaunchSpec};
+use unisvd_scalar::PrecisionKind;
+
+/// Cost per inter-thread reduction step of the SPLITK tree, in
+/// chain-FLOP-equivalents (shared-memory round trips are slow).
+const SPLITK_COMM: f64 = 6.0;
+
+/// Base efficiency of the trailing-update kernels relative to peak FLOPs.
+/// These are scalar per-thread Householder kernels (no tensor cores, no
+/// vendor GEMM): single-digit percent of peak is what such kernels reach
+/// in practice, and this value calibrates the simulation so the
+/// unified-vs-cuSOLVER envelope of Fig. 4 (80–90% on H100 at large n)
+/// emerges from the event counts. Set once, globally — never varied per
+/// experiment.
+pub const TRAILING_EFFICIENCY: f64 = 0.030;
+
+/// Effective bytes fetched per element of a **strided** (per-thread-column)
+/// global access. Thread `i` of a trailing-update block walks column
+/// `col+i`, so consecutive threads touch addresses `n` elements apart:
+/// every load pulls a partial cache sector. We charge 24 bytes of traffic
+/// per element regardless of storage width — which also reproduces the
+/// Fig. 5 observation that FP16 and FP32 runtimes coincide (half the
+/// elements' bytes, double the sector waste).
+pub const STRIDED_SECTOR_BYTES: f64 = 24.0;
+
+/// Traffic of a strided access of `n_elems` elements.
+fn strided_bytes(n_elems: usize) -> f64 {
+    n_elems as f64 * STRIDED_SECTOR_BYTES
+}
+
+/// Efficiency of the single-block panel kernels (mostly irrelevant: they
+/// are occupancy/latency-bound, not throughput-bound).
+pub const PANEL_EFFICIENCY: f64 = 0.25;
+
+fn ts3(ts: usize) -> f64 {
+    (ts * ts * ts) as f64
+}
+fn ts2(ts: usize) -> f64 {
+    (ts * ts) as f64
+}
+
+/// Panel-kernel exec geometry: the simulator always executes one thread
+/// per column with full-column registers.
+fn panel_exec(ts: usize, regs_cols: usize) -> ExecGeometry {
+    ExecGeometry {
+        block: ts,
+        regs_per_thread: regs_cols * ts + 2,
+        smem_elems: ts + 2,
+    }
+}
+
+/// `GEQRT`: Householder QR of one diagonal tile (Algorithm 3).
+pub fn geqrt_spec(p: &HyperParams, prec: PrecisionKind) -> LaunchSpec {
+    let ts = p.tilesize;
+    let sk = p.splitk;
+    let mut s = LaunchSpec::new(KernelClass::PanelFactorization, "geqrt", 1, sk * ts);
+    s.precision = prec;
+    // Each thread keeps its column slice plus scalars.
+    s.regs_per_thread = ts / sk + 4;
+    // Shared: the published column, its norm, and SPLITK partial sums.
+    s.smem_elems = ts + sk * ts + 2;
+    // Σ_k 4(ts−k)² ≈ (4/3)ts³ (dot + rank-1 update over the trailing tile).
+    s.flops = 4.0 / 3.0 * ts3(ts) + 3.0 * ts2(ts);
+    // Tile in + tile out (strided per-thread columns) + τ out.
+    s.bytes = strided_bytes(2 * ts * ts) + (ts * prec.bytes()) as f64;
+    // Per iteration each thread walks its column slice twice (dot + axpy),
+    // plus the SPLITK reduction; ts−1 dependent iterations.
+    s.critical_path = 2.0 * ts2(ts) / sk as f64 + SPLITK_COMM * (ts * sk) as f64;
+    s.efficiency = PANEL_EFFICIENCY;
+    s.exec = Some(panel_exec(ts, 1));
+    s
+}
+
+/// `TSQRT`: coupled QR of the triangular top tile and one square tile.
+pub fn tsqrt_spec(p: &HyperParams, prec: PrecisionKind) -> LaunchSpec {
+    let ts = p.tilesize;
+    let sk = p.splitk;
+    let mut s = LaunchSpec::new(KernelClass::PanelFactorization, "tsqrt", 1, sk * ts);
+    s.precision = prec;
+    s.regs_per_thread = 2 * ts / sk + 4;
+    s.smem_elems = ts + sk * ts + 3;
+    // ts reflectors × (ts−k) columns × 4ts (full-height dot + axpy) ≈ 2ts³.
+    s.flops = 2.0 * ts3(ts) + 3.0 * ts2(ts);
+    // R tile io + B tile io (strided) + τ.
+    s.bytes = strided_bytes(4 * ts * ts) + (ts * prec.bytes()) as f64;
+    s.critical_path = 4.0 * ts2(ts) / sk as f64 + SPLITK_COMM * (ts * sk) as f64;
+    s.efficiency = PANEL_EFFICIENCY;
+    s.exec = Some(panel_exec(ts, 2));
+    s
+}
+
+/// `FTSQRT`: fused panel — `GEQRT` then `nrows` × `TSQRT` in one launch,
+/// keeping the top tile in registers (Fig. 2 top-left).
+pub fn ftsqrt_spec(p: &HyperParams, prec: PrecisionKind, nrows: usize) -> LaunchSpec {
+    let g = geqrt_spec(p, prec);
+    let t = tsqrt_spec(p, prec);
+    let ts = p.tilesize;
+    let mut s = LaunchSpec::new(KernelClass::PanelFactorization, "ftsqrt", 1, g.block);
+    s.precision = prec;
+    s.regs_per_thread = t.regs_per_thread;
+    s.smem_elems = t.smem_elems;
+    s.flops = g.flops + nrows as f64 * t.flops;
+    // Fusion saving: the top tile moves once, not once per row.
+    s.bytes = strided_bytes(2 * ts * ts)
+        + (ts * prec.bytes()) as f64
+        + nrows as f64 * (strided_bytes(2 * ts * ts) + (ts * prec.bytes()) as f64);
+    s.critical_path = g.critical_path + nrows as f64 * t.critical_path;
+    s.efficiency = PANEL_EFFICIENCY;
+    s.exec = Some(panel_exec(ts, 2));
+    s
+}
+
+/// `UNMQR`: apply the diagonal tile's reflectors to `ncols` trailing
+/// columns (Algorithm 4). Grid = `ncols / COLPERBLOCK`.
+pub fn unmqr_spec(p: &HyperParams, prec: PrecisionKind, ncols: usize) -> LaunchSpec {
+    let ts = p.tilesize;
+    let cpb = p.colperblock;
+    assert!(
+        ncols.is_multiple_of(cpb),
+        "trailing column count must be a multiple of COLPERBLOCK"
+    );
+    let grid = ncols / cpb;
+    let mut s = LaunchSpec::new(KernelClass::TrailingUpdate, "unmqr", grid, cpb);
+    s.precision = prec;
+    s.regs_per_thread = ts + 2;
+    s.smem_elems = 2 * ts;
+    // ts−1 reflectors × ncols columns × ~4(ts−k) ≈ 2ts²·ncols.
+    s.flops = 2.0 * ts2(ts) * ncols as f64;
+    // Per block: X io (strided per-thread columns) + cooperatively
+    // (coalesced) loaded V (~ts²/2) + τ (ts).
+    s.bytes =
+        grid as f64 * (strided_bytes(2 * ts * cpb) + ((ts * ts / 2 + ts) * prec.bytes()) as f64);
+    // Per-column chain: ts−1 dependent reflector applications, each a
+    // ts-long dot + axpy, pipelined ~8-wide (independent lanes).
+    s.critical_path = 4.0 * ts2(ts) / 8.0;
+    s.l1_stream_bytes = (ts * ts * prec.bytes()) as u64;
+    s.efficiency = TRAILING_EFFICIENCY;
+    s
+}
+
+/// `TSMQR`: apply one row-tile's coupled reflectors to `ncols` columns of
+/// the top row and that row (one row of Fig. 2 bottom-right).
+pub fn tsmqr_spec(p: &HyperParams, prec: PrecisionKind, ncols: usize) -> LaunchSpec {
+    let ts = p.tilesize;
+    let cpb = p.colperblock;
+    assert!(ncols.is_multiple_of(cpb));
+    let grid = ncols / cpb;
+    let mut s = LaunchSpec::new(KernelClass::TrailingUpdate, "tsmqr", grid, cpb);
+    s.precision = prec;
+    s.regs_per_thread = 2 * ts + 2;
+    s.smem_elems = 2 * ts;
+    // ts reflectors × ncols × (full-height dot + axpy + top update).
+    s.flops = (4.0 * ts2(ts) + 2.0 * ts as f64) * ncols as f64;
+    // Per block: X io + Y io (strided) + V tile + τ (coalesced).
+    s.bytes = grid as f64 * (strided_bytes(4 * ts * cpb) + ((ts * ts + ts) * prec.bytes()) as f64);
+    s.critical_path = 4.0 * ts2(ts) / 8.0;
+    s.l1_stream_bytes = (ts * ts * prec.bytes()) as u64;
+    s.efficiency = TRAILING_EFFICIENCY;
+    s
+}
+
+/// `FTSMQR`: fused trailing update — `UNMQR` on the top row then `nrows` ×
+/// `TSMQR` in one launch, keeping the top row in registers (Fig. 2
+/// bottom-left, Algorithm 5).
+pub fn ftsmqr_spec(p: &HyperParams, prec: PrecisionKind, ncols: usize, nrows: usize) -> LaunchSpec {
+    let ts = p.tilesize;
+    let cpb = p.colperblock;
+    assert!(ncols.is_multiple_of(cpb));
+    let grid = ncols / cpb;
+    let mut s = LaunchSpec::new(KernelClass::TrailingUpdate, "ftsmqr", grid, cpb);
+    s.precision = prec;
+    s.regs_per_thread = 2 * ts + 2;
+    s.smem_elems = 2 * ts;
+    let unm = unmqr_spec(p, prec, ncols);
+    let tsm = tsmqr_spec(p, prec, ncols);
+    s.flops = unm.flops + nrows as f64 * tsm.flops;
+    // Fusion saving: Y moves once per block, not once per row.
+    let per_block_y = strided_bytes(2 * ts * cpb);
+    let per_block_diag = ((ts * ts / 2 + ts) * prec.bytes()) as f64;
+    let per_block_row = strided_bytes(2 * ts * cpb) + ((ts * ts + ts) * prec.bytes()) as f64;
+    s.bytes = grid as f64 * (per_block_y + per_block_diag + nrows as f64 * per_block_row);
+    s.critical_path = (nrows as f64 + 1.0) * 4.0 * ts2(ts) / 8.0;
+    s.l1_stream_bytes = (ts * ts * prec.bytes()) as u64;
+    s.efficiency = TRAILING_EFFICIENCY;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P32: PrecisionKind = PrecisionKind::Fp32;
+
+    #[test]
+    fn geqrt_counts_scale_cubically() {
+        let p32 = HyperParams::new(32, 32, 8);
+        let p64 = HyperParams::new(64, 32, 8);
+        let a = geqrt_spec(&p32, P32);
+        let b = geqrt_spec(&p64, P32);
+        assert!(b.flops / a.flops > 7.0 && b.flops / a.flops < 9.0);
+        assert_eq!(a.grid, 1);
+        assert_eq!(a.block, 256); // SPLITK × TILESIZE
+    }
+
+    #[test]
+    fn splitk_trades_chain_for_communication() {
+        let base = HyperParams::new(32, 32, 1);
+        let split = HyperParams::new(32, 32, 8);
+        let a = geqrt_spec(&base, P32);
+        let b = geqrt_spec(&split, P32);
+        // SPLITK=8 shortens the serial chain …
+        assert!(b.critical_path < a.critical_path);
+        // … but the same total flops are executed (purely computational).
+        assert_eq!(a.flops, b.flops);
+    }
+
+    #[test]
+    fn fused_panel_moves_top_tile_once() {
+        let p = HyperParams::reference();
+        let nrows = 16;
+        let fused = ftsqrt_spec(&p, P32, nrows);
+        let unfused_bytes = geqrt_spec(&p, P32).bytes + nrows as f64 * tsqrt_spec(&p, P32).bytes;
+        assert!(
+            fused.bytes < unfused_bytes,
+            "fusion must reduce panel traffic"
+        );
+        let unfused_flops = geqrt_spec(&p, P32).flops + nrows as f64 * tsqrt_spec(&p, P32).flops;
+        assert_eq!(
+            fused.flops, unfused_flops,
+            "fusion must not change the math"
+        );
+    }
+
+    #[test]
+    fn fused_trailing_moves_top_row_once() {
+        let p = HyperParams::reference();
+        let (ncols, nrows) = (512, 16);
+        let fused = ftsmqr_spec(&p, P32, ncols, nrows);
+        let unfused =
+            unmqr_spec(&p, P32, ncols).bytes + nrows as f64 * (tsmqr_spec(&p, P32, ncols).bytes);
+        assert!(fused.bytes < unfused);
+        // Bigger COLPERBLOCK → fewer blocks → less diag/V reload traffic.
+        let wide = HyperParams::new(32, 32, 8);
+        let narrow = HyperParams::new(32, 8, 8);
+        assert!(
+            ftsmqr_spec(&wide, P32, ncols, nrows).bytes
+                < ftsmqr_spec(&narrow, P32, ncols, nrows).bytes
+        );
+    }
+
+    #[test]
+    fn storage_precision_traffic_model() {
+        let p = HyperParams::reference();
+        let f16 = ftsmqr_spec(&p, PrecisionKind::Fp16, 256, 8);
+        let f32_ = ftsmqr_spec(&p, PrecisionKind::Fp32, 256, 8);
+        let f64_ = ftsmqr_spec(&p, PrecisionKind::Fp64, 256, 8);
+        assert_eq!(f16.flops, f32_.flops);
+        // Strided traffic is sector-dominated and precision-independent
+        // (the Fig. 5 FP16 ≈ FP32 effect); only the coalesced share grows
+        // with element width, so total bytes grow mildly with precision.
+        assert!(f32_.bytes > f16.bytes);
+        assert!(f64_.bytes > f32_.bytes);
+        assert!(f64_.bytes / f16.bytes < 1.6, "strided share must dominate");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of COLPERBLOCK")]
+    fn ragged_columns_rejected() {
+        let p = HyperParams::reference();
+        let _ = unmqr_spec(&p, P32, 100);
+    }
+}

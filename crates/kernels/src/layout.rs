@@ -1,0 +1,204 @@
+//! Device-matrix view with tile indexing and lazy transposition.
+//!
+//! [`DMat`] wraps a device [`GlobalBuffer`] holding an `n × n` column-major
+//! matrix and adds (a) tile-level addressing and (b) an index-level
+//! transpose flag — the device-side counterpart of Julia's lazy `A'` that
+//! lets the LQ sweep reuse the QR kernels unchanged (§3.1). All element
+//! loads upcast storage `T` to the compute type `T::Accum`, and stores
+//! round back — the FP16 load/compute/store discipline of §4.3.
+
+use unisvd_gpu::GlobalBuffer;
+use unisvd_scalar::Scalar;
+
+/// Borrowed device-matrix view (copyable; shares the underlying buffer).
+pub struct DMat<'a, T> {
+    buf: &'a GlobalBuffer<T>,
+    n: usize,
+    trans: bool,
+}
+
+// Manual Copy/Clone: `T` itself need not be Clone for the *view* to be.
+impl<T> Clone for DMat<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DMat<'_, T> {}
+
+impl<'a, T: Scalar> DMat<'a, T> {
+    /// Wraps an `n × n` column-major device buffer.
+    ///
+    /// # Panics
+    /// If the buffer length is neither `n²` (numeric mode) nor `0`
+    /// (trace-only placeholder).
+    pub fn new(buf: &'a GlobalBuffer<T>, n: usize) -> Self {
+        assert!(
+            buf.len() == n * n || buf.is_empty(),
+            "buffer must hold n*n elements (or be a trace-mode placeholder)"
+        );
+        DMat {
+            buf,
+            n,
+            trans: false,
+        }
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// True if this view transposes the storage.
+    #[inline]
+    pub fn is_transposed(&self) -> bool {
+        self.trans
+    }
+
+    /// Lazy transpose (Algorithm 2 line 4: `GETSMQRT!(A', …)`).
+    #[inline]
+    pub fn t(&self) -> Self {
+        DMat {
+            buf: self.buf,
+            n: self.n,
+            trans: !self.trans,
+        }
+    }
+
+    #[inline(always)]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(
+            r < self.n && c < self.n,
+            "element ({r},{c}) out of {0}x{0}",
+            self.n
+        );
+        if self.trans {
+            r * self.n + c
+        } else {
+            c * self.n + r
+        }
+    }
+
+    /// Loads element `(r, c)`, upcast to the compute type.
+    #[inline(always)]
+    pub fn read(&self, r: usize, c: usize) -> T::Accum {
+        self.buf.read(self.idx(r, c)).to_accum()
+    }
+
+    /// Stores element `(r, c)`, rounding from the compute type.
+    #[inline(always)]
+    pub fn write(&self, r: usize, c: usize, v: T::Accum) {
+        self.buf.write(self.idx(r, c), T::from_accum(v));
+    }
+
+    /// Loads element `(i, j)` of tile `(ti, tj)` on a `ts`-tile grid.
+    #[inline(always)]
+    pub fn read_tile(&self, ts: usize, ti: usize, tj: usize, i: usize, j: usize) -> T::Accum {
+        self.read(ti * ts + i, tj * ts + j)
+    }
+
+    /// Stores element `(i, j)` of tile `(ti, tj)`.
+    #[inline(always)]
+    pub fn write_tile(&self, ts: usize, ti: usize, tj: usize, i: usize, j: usize, v: T::Accum) {
+        self.write(ti * ts + i, tj * ts + j, v)
+    }
+}
+
+/// Device vector view for the τ coefficients, with the same upcast
+/// discipline as [`DMat`].
+pub struct DVec<'a, T> {
+    buf: &'a GlobalBuffer<T>,
+}
+
+impl<T> Clone for DVec<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DVec<'_, T> {}
+
+impl<'a, T: Scalar> DVec<'a, T> {
+    /// Wraps a device buffer.
+    pub fn new(buf: &'a GlobalBuffer<T>) -> Self {
+        DVec { buf }
+    }
+
+    /// Loads element `i`, upcast.
+    #[inline(always)]
+    pub fn read(&self, i: usize) -> T::Accum {
+        self.buf.read(i).to_accum()
+    }
+
+    /// Stores element `i`, rounded.
+    #[inline(always)]
+    pub fn write(&self, i: usize, v: T::Accum) {
+        self.buf.write(i, T::from_accum(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisvd_scalar::F16;
+
+    fn buf_3x3() -> GlobalBuffer<f64> {
+        // Column-major 3×3: a[(r,c)] = r + 10c.
+        GlobalBuffer::from_vec(vec![0., 1., 2., 10., 11., 12., 20., 21., 22.])
+    }
+
+    #[test]
+    fn plain_and_transposed_reads() {
+        let b = buf_3x3();
+        let a = DMat::new(&b, 3);
+        assert_eq!(a.read(1, 2), 21.0);
+        let at = a.t();
+        assert!(at.is_transposed());
+        assert_eq!(at.read(2, 1), 21.0);
+        assert_eq!(at.t().read(1, 2), 21.0); // involution
+    }
+
+    #[test]
+    fn transposed_write_lands_in_storage() {
+        let b = buf_3x3();
+        let a = DMat::new(&b, 3);
+        a.t().write(0, 2, 99.0);
+        // (0,2) of Aᵀ is (2,0) of A.
+        assert_eq!(a.read(2, 0), 99.0);
+    }
+
+    #[test]
+    fn tile_addressing() {
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let b = GlobalBuffer::from_vec(data);
+        let a = DMat::new(&b, 4);
+        // Tile (1,1) element (0,1) is global (2,3) = col-major idx 3*4+2=14.
+        assert_eq!(a.read_tile(2, 1, 1, 0, 1), 14.0);
+        a.write_tile(2, 0, 1, 1, 0, -5.0); // global (1,2) idx 2*4+1=9
+        assert_eq!(b.read(9), -5.0);
+    }
+
+    #[test]
+    fn f16_upcast_on_read_downcast_on_write() {
+        let b = GlobalBuffer::from_vec(vec![F16::from_f32(1.5); 4]);
+        let a = DMat::new(&b, 2);
+        let v: f32 = a.read(0, 0);
+        assert_eq!(v, 1.5);
+        a.write(0, 0, 2049.0); // not representable in f16
+        assert_eq!(a.read(0, 0), 2048.0); // rounded at store
+    }
+
+    #[test]
+    fn dvec_roundtrip() {
+        let b = GlobalBuffer::from_vec(vec![0.0f32; 4]);
+        let t = DVec::new(&b);
+        t.write(2, 0.75);
+        assert_eq!(t.read(2), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must hold")]
+    fn wrong_length_panics() {
+        let b = GlobalBuffer::from_vec(vec![0.0f64; 5]);
+        let _ = DMat::new(&b, 3);
+    }
+}

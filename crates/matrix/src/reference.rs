@@ -1,0 +1,261 @@
+//! Reference (oracle) linear algebra: simple, obviously correct, host-only.
+//!
+//! Everything here exists to *check* the fast path and to build test
+//! matrices — it is deliberately straightforward (unblocked, no tiling, no
+//! simulated device) so that it can serve as an independent oracle in tests.
+
+use crate::dense::Matrix;
+use unisvd_scalar::{Real, Scalar};
+
+/// `C ← alpha * op(A) * op(B) + beta * C` with optional transposition.
+///
+/// # Panics
+/// On inner/outer dimension mismatch.
+pub fn gemm<R: Real + Scalar<Accum = R>>(
+    alpha: R,
+    a: &Matrix<R>,
+    ta: bool,
+    b: &Matrix<R>,
+    tb: bool,
+    beta: R,
+    c: &mut Matrix<R>,
+) {
+    let (m, k1) = if ta {
+        (a.cols(), a.rows())
+    } else {
+        (a.rows(), a.cols())
+    };
+    let (k2, n) = if tb {
+        (b.cols(), b.rows())
+    } else {
+        (b.rows(), b.cols())
+    };
+    assert_eq!(k1, k2, "gemm inner dimension mismatch");
+    assert_eq!(c.rows(), m, "gemm output row mismatch");
+    assert_eq!(c.cols(), n, "gemm output col mismatch");
+
+    let at = |i: usize, l: usize| if ta { a[(l, i)] } else { a[(i, l)] };
+    let bt = |l: usize, j: usize| if tb { b[(j, l)] } else { b[(l, j)] };
+
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = R::ZERO;
+            for l in 0..k1 {
+                s += at(i, l) * bt(l, j);
+            }
+            let cij = c[(i, j)];
+            c[(i, j)] = alpha * s + beta * cij;
+        }
+    }
+}
+
+/// Convenience product `A * B`.
+pub fn matmul<R: Real + Scalar<Accum = R>>(a: &Matrix<R>, b: &Matrix<R>) -> Matrix<R> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(R::ONE, a, false, b, false, R::ZERO, &mut c);
+    c
+}
+
+/// Unblocked Householder QR (LAPACK `geqr2`-style), in place.
+///
+/// On return, the upper triangle of `a` holds `R` and the strict lower
+/// triangle holds the Householder vectors (unit diagonal implicit); the
+/// returned `tau[k]` are the reflector coefficients `H_k = I − τ v vᵀ`.
+pub fn householder_qr<R: Real + Scalar<Accum = R>>(a: &mut Matrix<R>) -> Vec<R> {
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = m.min(n);
+    let mut tau = vec![R::ZERO; kmax];
+
+    for k in 0..kmax {
+        // Norm of the column below (and including) the diagonal.
+        let mut nrm2 = R::ZERO;
+        for i in (k + 1)..m {
+            let v = a[(i, k)];
+            nrm2 += v * v;
+        }
+        let akk = a[(k, k)];
+        if nrm2 == R::ZERO {
+            tau[k] = R::ZERO; // column already upper triangular
+            continue;
+        }
+        let beta = -(akk * akk + nrm2).sqrt().copysign(akk);
+        let t = (beta - akk) / beta;
+        tau[k] = t;
+        let scale = R::ONE / (akk - beta);
+        for i in (k + 1)..m {
+            let v = a[(i, k)] * scale;
+            a[(i, k)] = v;
+        }
+        a[(k, k)] = beta;
+
+        // Apply H_k to the trailing columns.
+        for j in (k + 1)..n {
+            let mut s = a[(k, j)];
+            for i in (k + 1)..m {
+                s += a[(i, k)] * a[(i, j)];
+            }
+            s *= t;
+            let akj = a[(k, j)];
+            a[(k, j)] = akj - s;
+            for i in (k + 1)..m {
+                let v = a[(i, j)] - s * a[(i, k)];
+                a[(i, j)] = v;
+            }
+        }
+    }
+    tau
+}
+
+/// Forms the explicit orthogonal factor `Q` (m × m) from the output of
+/// [`householder_qr`].
+pub fn form_q<R: Real + Scalar<Accum = R>>(qr: &Matrix<R>, tau: &[R]) -> Matrix<R> {
+    let m = qr.rows();
+    let kmax = tau.len();
+    let mut q = Matrix::identity(m);
+    // Q = H_0 H_1 … H_{k-1}; apply from the last reflector backwards.
+    for k in (0..kmax).rev() {
+        let t = tau[k];
+        if t == R::ZERO {
+            continue;
+        }
+        for j in 0..m {
+            let mut s = q[(k, j)];
+            for i in (k + 1)..m {
+                s += qr[(i, k)] * q[(i, j)];
+            }
+            s *= t;
+            let qkj = q[(k, j)];
+            q[(k, j)] = qkj - s;
+            for i in (k + 1)..m {
+                let v = q[(i, j)] - s * qr[(i, k)];
+                q[(i, j)] = v;
+            }
+        }
+    }
+    q
+}
+
+/// `max |a - b|` over all entries, in `f64`.
+pub fn max_abs_diff<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> f64 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let mut m = 0.0f64;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            m = m.max((a[(i, j)].to_f64() - b[(i, j)].to_f64()).abs());
+        }
+    }
+    m
+}
+
+/// `‖QᵀQ − I‖_max` — orthogonality defect of `Q`.
+pub fn orthogonality_error<R: Real + Scalar<Accum = R>>(q: &Matrix<R>) -> f64 {
+    let mut qtq = Matrix::zeros(q.cols(), q.cols());
+    gemm(R::ONE, q, true, q, false, R::ZERO, &mut qtq);
+    max_abs_diff(&qtq, &Matrix::identity(q.cols()))
+}
+
+/// Relative Frobenius-norm distance between two descending-sorted singular
+/// value vectors: `‖σ_a − σ_b‖_F / ‖σ_b‖_F` — the error measure of Table 1.
+pub fn sv_relative_error(computed: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(computed.len(), truth.len(), "singular value count mismatch");
+    let num: f64 = computed
+        .iter()
+        .zip(truth)
+        .map(|(&c, &t)| (c - t) * (c - t))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = truth.iter().map(|&t| t * t).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, v: &[f64]) -> Matrix<f64> {
+        // Row-major input for readability; convert to column-major.
+        Matrix::from_fn(rows, cols, |i, j| v[i * cols + j])
+    }
+
+    #[test]
+    fn gemm_small_known() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn gemm_transpose_options() {
+        let a = mat(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // AᵀA is symmetric 2×2.
+        let mut c = Matrix::zeros(2, 2);
+        gemm(1.0, &a, true, &a, false, 0.0, &mut c);
+        assert_eq!(c[(0, 0)], 35.0);
+        assert_eq!(c[(0, 1)], 44.0);
+        assert_eq!(c[(1, 0)], 44.0);
+        assert_eq!(c[(1, 1)], 56.0);
+        // beta accumulation.
+        let mut c2 = Matrix::identity(2);
+        gemm(2.0, &a, true, &a, false, 10.0, &mut c2);
+        assert_eq!(c2[(0, 0)], 2.0 * 35.0 + 10.0);
+        assert_eq!(c2[(1, 0)], 2.0 * 44.0);
+    }
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = mat(
+            4,
+            3,
+            &[
+                4.0, 1.0, -2.0, 1.0, 3.0, 0.5, -2.0, 7.0, 1.5, 0.25, -1.0, 2.0,
+            ],
+        );
+        let mut qr = a.clone();
+        let tau = householder_qr(&mut qr);
+        let q = form_q(&qr, &tau);
+        // R = upper triangle of qr (4×3, zero below diagonal).
+        let r = Matrix::from_fn(4, 3, |i, j| if i <= j { qr[(i, j)] } else { 0.0 });
+        let qa = matmul(&q, &r);
+        assert!(max_abs_diff(&qa, &a) < 1e-12, "QR must reconstruct A");
+        assert!(orthogonality_error(&q) < 1e-12, "Q must be orthogonal");
+    }
+
+    #[test]
+    fn qr_handles_zero_column_tail() {
+        // Column already zero below diagonal: tau = 0, no-op reflector.
+        let a = Matrix::<f64>::from_fn(3, 3, |i, j| if i <= j { (i + j + 1) as f64 } else { 0.0 });
+        let mut qr = a.clone();
+        let tau = householder_qr(&mut qr);
+        assert_eq!(tau, vec![0.0, 0.0, 0.0]);
+        assert!(max_abs_diff(&qr, &a) < 1e-15);
+    }
+
+    #[test]
+    fn qr_r_diagonal_sign_convention() {
+        // beta = -sign(a_kk)·‖x‖: diagonal of R gets the opposite sign of
+        // the leading entry, matching LAPACK.
+        let mut a = mat(2, 2, &[3.0, 0.0, 4.0, 5.0]);
+        let tau = householder_qr(&mut a);
+        assert!((a[(0, 0)].abs() - 5.0).abs() < 1e-14);
+        assert!(a[(0, 0)] < 0.0); // leading entry was +3 → beta negative
+        assert!(tau[0] > 0.0 && tau[0] <= 2.0);
+    }
+
+    #[test]
+    fn sv_relative_error_basics() {
+        assert_eq!(sv_relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = sv_relative_error(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!((e - 0.1 / 5.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(sv_relative_error(&[0.5], &[0.0]), 0.5); // zero truth guard
+    }
+}

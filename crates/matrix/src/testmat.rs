@@ -1,0 +1,315 @@
+//! Test-matrix factory for the accuracy experiments (§3.2, Table 1).
+//!
+//! Matrices are constructed as `A = U Σ Vᵀ` with known singular values Σ and
+//! random orthogonal `U`, `V`, following the paper (which uses
+//! RandomMatrices.jl). Three singular value distributions on `[0, 1]` are
+//! provided: arithmetic (evenly spaced), logarithmic, and quarter-circle
+//! (the expected spectrum of square i.i.d. random matrices).
+
+use crate::dense::Matrix;
+use crate::reference::{form_q, householder_qr};
+use rand::Rng;
+use rand_distr::StandardNormal;
+use unisvd_scalar::Scalar;
+
+/// Singular value distribution on `[0, 1]` used by the accuracy experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SvDistribution {
+    /// Evenly spaced: σ_i = i / n, i = n … 1. Best-conditioned spacing.
+    Arithmetic,
+    /// Log-spaced over three decades: σ_i = 10^(−3(n−i)/(n−1)). The
+    /// "typical practical case" of the paper.
+    Logarithmic,
+    /// Quantiles of the quarter-circle law p(x) = (4/π)·√(1−x²) on [0, 1],
+    /// mimicking the spectrum of a square i.i.d. matrix.
+    QuarterCircle,
+}
+
+impl SvDistribution {
+    /// All three distributions, in the paper's order.
+    pub const ALL: [SvDistribution; 3] = [
+        SvDistribution::Arithmetic,
+        SvDistribution::Logarithmic,
+        SvDistribution::QuarterCircle,
+    ];
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SvDistribution::Arithmetic => "arithmetic",
+            SvDistribution::Logarithmic => "logarithmic",
+            SvDistribution::QuarterCircle => "quarter-circle",
+        }
+    }
+
+    /// `n` singular values in **descending** order in `(0, 1]`.
+    pub fn values(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "need at least one singular value");
+        match self {
+            SvDistribution::Arithmetic => (0..n).map(|i| (n - i) as f64 / n as f64).collect(),
+            SvDistribution::Logarithmic => {
+                if n == 1 {
+                    return vec![1.0];
+                }
+                (0..n)
+                    .map(|i| 10f64.powf(-3.0 * i as f64 / (n - 1) as f64))
+                    .collect()
+            }
+            SvDistribution::QuarterCircle => {
+                // Descending quantiles of the quarter-circle CDF
+                // F(x) = (2/π)(x√(1−x²) + asin x), inverted by bisection.
+                let mut v: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let p = (i as f64 + 0.5) / n as f64;
+                        quarter_circle_quantile(p)
+                    })
+                    .collect();
+                v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                v
+            }
+        }
+    }
+}
+
+fn quarter_circle_cdf(x: f64) -> f64 {
+    (2.0 / std::f64::consts::PI) * (x * (1.0 - x * x).sqrt() + x.asin())
+}
+
+fn quarter_circle_quantile(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if quarter_circle_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Haar-distributed random orthogonal matrix: QR of an i.i.d. Gaussian
+/// matrix with the sign correction `Q ← Q·diag(sign(r_ii))` that makes the
+/// distribution exactly Haar. O(n³) — intended for small/medium `n`.
+pub fn haar_orthogonal<R: Rng>(n: usize, rng: &mut R) -> Matrix<f64> {
+    let mut g = Matrix::from_fn(n, n, |_, _| rng.sample::<f64, _>(StandardNormal));
+    let tau = householder_qr(&mut g);
+    let mut q = form_q(&g, &tau);
+    for j in 0..n {
+        // diag of R is g[(j, j)] after factorisation.
+        if g[(j, j)] < 0.0 {
+            for i in 0..n {
+                q[(i, j)] = -q[(i, j)];
+            }
+        }
+    }
+    q
+}
+
+/// `A = U Σ Vᵀ` with exact-Haar factors — O(n³), for accuracy studies at
+/// small/medium sizes.
+pub fn with_singular_values<R: Rng>(svs: &[f64], rng: &mut R) -> Matrix<f64> {
+    let n = svs.len();
+    let u = haar_orthogonal(n, rng);
+    let v = haar_orthogonal(n, rng);
+    // A = U · diag(svs) · Vᵀ, fused to avoid a third O(n³) product:
+    // A[i][j] = Σ_k u[i,k] · σ_k · v[j,k].
+    let mut a = Matrix::zeros(n, n);
+    for k in 0..n {
+        let s = svs[k];
+        if s == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let vs = v[(j, k)] * s;
+            for i in 0..n {
+                let add = u[(i, k)] * vs;
+                a[(i, j)] += add;
+            }
+        }
+    }
+    a
+}
+
+/// `A = U Σ Vᵀ` where `U`, `V` are each a product of `k` random Householder
+/// reflectors — exactly orthogonal, O(k·n²) to build, suitable for large
+/// accuracy runs where exact-Haar is too expensive. The singular values of
+/// the result are still exactly `svs`.
+pub fn with_singular_values_fast<R: Rng>(svs: &[f64], k: usize, rng: &mut R) -> Matrix<f64> {
+    let n = svs.len();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = svs[i];
+    }
+    let mut v = vec![0.0f64; n];
+    for _ in 0..k {
+        // Left reflector: A ← (I − 2wwᵀ)A.
+        random_unit(&mut v, rng);
+        reflect_left(&mut a, &v);
+        // Right reflector: A ← A(I − 2wwᵀ).
+        random_unit(&mut v, rng);
+        reflect_right(&mut a, &v);
+    }
+    a
+}
+
+fn random_unit<R: Rng>(v: &mut [f64], rng: &mut R) {
+    loop {
+        let mut nrm = 0.0;
+        for x in v.iter_mut() {
+            *x = rng.sample::<f64, _>(StandardNormal);
+            nrm += *x * *x;
+        }
+        let nrm = nrm.sqrt();
+        if nrm > 1e-8 {
+            for x in v.iter_mut() {
+                *x /= nrm;
+            }
+            return;
+        }
+    }
+}
+
+fn reflect_left(a: &mut Matrix<f64>, w: &[f64]) {
+    let n = a.rows();
+    for j in 0..a.cols() {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += w[i] * a[(i, j)];
+        }
+        let s2 = 2.0 * s;
+        for i in 0..n {
+            a[(i, j)] -= s2 * w[i];
+        }
+    }
+}
+
+fn reflect_right(a: &mut Matrix<f64>, w: &[f64]) {
+    let n = a.cols();
+    for i in 0..a.rows() {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[(i, j)] * w[j];
+        }
+        let s2 = 2.0 * s;
+        for j in 0..n {
+            a[(i, j)] -= s2 * w[j];
+        }
+    }
+}
+
+/// Builds a test matrix in storage precision `T` together with its exact
+/// singular values. `fast` switches between exact-Haar (O(n³)) and
+/// reflector-product (O(n²)) orthogonal factors.
+pub fn test_matrix<T: Scalar, R: Rng>(
+    n: usize,
+    dist: SvDistribution,
+    fast: bool,
+    rng: &mut R,
+) -> (Matrix<T>, Vec<f64>) {
+    let svs = dist.values(n);
+    // The reflector count scales with n so that no submatrix block is
+    // numerically low-rank (k = 8 at n = 1024 would make every off-
+    // diagonal tile rank ≤ 16 — a pathological panel for tile QR).
+    let k = (n / 8).clamp(16, 128);
+    let a64 = if fast {
+        with_singular_values_fast(&svs, k, rng)
+    } else {
+        with_singular_values(&svs, rng)
+    };
+    (a64.cast(), svs)
+}
+
+/// Dense matrix with i.i.d. uniform(-1, 1) entries in precision `T`.
+pub fn random_general<T: Scalar, R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::orthogonality_error;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distributions_are_descending_in_unit_interval() {
+        for dist in SvDistribution::ALL {
+            let v = dist.values(64);
+            assert_eq!(v.len(), 64);
+            assert!(
+                v.windows(2).all(|w| w[0] >= w[1]),
+                "{dist:?} not descending"
+            );
+            assert!(
+                v.iter().all(|&x| x > 0.0 && x <= 1.0),
+                "{dist:?} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_evenly_spaced() {
+        let v = SvDistribution::Arithmetic.values(4);
+        assert_eq!(v, vec![1.0, 0.75, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn logarithmic_spans_three_decades() {
+        let v = SvDistribution::Logarithmic.values(100);
+        assert!((v[0] - 1.0).abs() < 1e-15);
+        assert!((v[99] - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarter_circle_quantiles_match_cdf() {
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = quarter_circle_quantile(p);
+            assert!((quarter_circle_cdf(x) - p).abs() < 1e-12);
+        }
+        // Median of the quarter-circle is well above 0.5 (mass near 0..1
+        // but density is largest at 0? No: density (4/π)√(1−x²) is largest
+        // at x=0, so the median is below 0.5… check it is sane instead.
+        let med = quarter_circle_quantile(0.5);
+        assert!(med > 0.3 && med < 0.6);
+    }
+
+    #[test]
+    fn haar_is_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = haar_orthogonal(24, &mut rng);
+        assert!(orthogonality_error(&q) < 1e-12);
+    }
+
+    #[test]
+    fn constructed_matrix_has_given_frobenius_norm() {
+        // ‖A‖_F = ‖Σ‖_F exactly (orthogonal invariance).
+        let mut rng = StdRng::seed_from_u64(42);
+        let svs = SvDistribution::Arithmetic.values(16);
+        let want: f64 = svs.iter().map(|s| s * s).sum::<f64>().sqrt();
+        let a = with_singular_values(&svs, &mut rng);
+        assert!((a.fro_norm() - want).abs() < 1e-10);
+        let a_fast = with_singular_values_fast(&svs, 8, &mut rng);
+        assert!((a_fast.fro_norm() - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn test_matrix_casts_to_precision() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, svs) = test_matrix::<f32, _>(8, SvDistribution::Logarithmic, true, &mut rng);
+        assert_eq!(a.rows(), 8);
+        assert_eq!(svs.len(), 8);
+        let (ah, _) =
+            test_matrix::<unisvd_scalar::F16, _>(8, SvDistribution::Arithmetic, false, &mut rng);
+        assert!(ah.max_abs() <= 1.01); // σ ≤ 1 keeps entries small
+    }
+
+    #[test]
+    fn random_general_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_general::<f64, _>(10, 10, &mut rng);
+        assert!(m.max_abs() <= 1.0);
+        assert!(m.fro_norm() > 0.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+//! Conversions implement round-to-nearest-even, gradual underflow to
+//! subnormals, and overflow to infinity — the semantics GPU hardware
+//! implements for `__half`. Arithmetic operators upcast to `f32`, compute,
+//! and round back, mirroring how scalar FP16 executes on GPUs without
+//! native FP16 ALUs (the configuration the paper measures on NVIDIA).
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// IEEE 754 binary16 floating point number.
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct F16(u16);
+
+// IEEE semantics: NaN != NaN and +0 == -0, so equality goes through the
+// exact f32 representation rather than the bit pattern.
+impl PartialEq for F16 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: F16 = F16(0xBC00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Machine epsilon: distance from 1.0 to the next representable, 2^-10.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Reinterprets raw bits as an `F16`.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN-ness; quieten the payload.
+            return if man != 0 {
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            } else {
+                F16(sign | EXP_MASK)
+            };
+        }
+
+        // Unbiased exponent in f32; rebias for f16 (bias 15).
+        let unbiased = exp - 127;
+        let half_exp = unbiased + 15;
+
+        if half_exp >= 0x1F {
+            // Overflow to infinity.
+            return F16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or zero in f16.
+            if half_exp < -10 {
+                // Too small even for a subnormal: round to (signed) zero.
+                return F16(sign);
+            }
+            // Implicit leading 1 becomes explicit; shift right to align.
+            let man = man | 0x0080_0000;
+            let shift = (14 - half_exp) as u32; // 14..=24
+            let halfway = 1u32 << (shift - 1);
+            let rounded = man >> shift;
+            let rem = man & ((1u32 << shift) - 1);
+            let mut out = rounded as u16;
+            if rem > halfway || (rem == halfway && (out & 1) == 1) {
+                out += 1; // may carry into the exponent — that is correct
+            }
+            return F16(sign | out);
+        }
+
+        // Normal number: round 23-bit mantissa to 10 bits (RNE).
+        let mut out = (sign as u32) | ((half_exp as u32) << 10) | (man >> 13);
+        let rem = man & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && (out & 1) == 1) {
+            out += 1; // carry propagates into exponent correctly
+        }
+        F16(out as u16)
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> 10) as u32;
+        let man = (self.0 & MAN_MASK) as u32;
+
+        if exp == 0 {
+            if man == 0 {
+                return f32::from_bits(sign); // signed zero
+            }
+            // Subnormal: value = man * 2^-24; normalise into an f32 normal
+            // with the leading mantissa bit at position p made implicit.
+            let p = 31 - man.leading_zeros(); // 0..=9
+            let exp = p + 103; // (p - 24) + 127
+            let man = (man ^ (1 << p)) << (23 - p);
+            return f32::from_bits(sign | (exp << 23) | man);
+        }
+        if exp == 0x1F {
+            return if man == 0 {
+                f32::from_bits(sign | 0x7F80_0000)
+            } else {
+                f32::from_bits(sign | 0x7FC0_0000 | (man << 13))
+            };
+        }
+        f32::from_bits(sign | ((exp + 127 - 15) << 23) | (man << 13))
+    }
+
+    /// Converts from `f64` (via `f32`; double rounding is acceptable here
+    /// because it matches what a storage-level downcast chain does on GPUs).
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        Self::from_f32(x as f32)
+    }
+
+    /// Converts to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if this value is +∞ or −∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// True if this value is finite (not NaN, not ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True for subnormal values (nonzero with zero exponent field).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if the sign bit is set (including −0 and NaNs with sign).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & SIGN_MASK != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        F16(self.0 & !SIGN_MASK)
+    }
+}
+
+impl From<f32> for F16 {
+    #[inline]
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    #[inline]
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $fn:ident, $assign_trait:ident, $assign_fn:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $fn(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for F16 {
+            #[inline]
+            fn $assign_fn(&mut self, rhs: F16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, AddAssign, add_assign, +);
+f16_binop!(Sub, sub, SubAssign, sub_assign, -);
+f16_binop!(Mul, mul, MulAssign, mul_assign, *);
+f16_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl PartialOrd for F16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 6.103_515_6e-5);
+        assert_eq!(F16::EPSILON.to_f32(), 9.765_625e-4);
+    }
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -2048..=2048i32 {
+            let h = F16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn rne_rounding_at_half_ulp() {
+        // 1.0 + eps/2 = 1.00048828125 is exactly halfway between 1.0 and
+        // 1+eps; RNE rounds to the even mantissa (1.0).
+        let halfway = 1.0f32 + 0.5 * F16::EPSILON.to_f32();
+        assert_eq!(F16::from_f32(halfway).to_bits(), F16::ONE.to_bits());
+        // Slightly above halfway rounds up.
+        let above = f32::from_bits(halfway.to_bits() + 1);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + F16::EPSILON.to_f32());
+        // 1 + 1.5*eps is halfway between 1+eps (odd) and 1+2eps (even): up.
+        let halfway_odd = 1.0f32 + 1.5 * F16::EPSILON.to_f32();
+        assert_eq!(
+            F16::from_f32(halfway_odd).to_f32(),
+            1.0 + 2.0 * F16::EPSILON.to_f32()
+        );
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(65520.0).is_infinite()); // rounds past MAX
+        assert!(F16::from_f32(1e9).is_infinite());
+        assert!(F16::from_f32(-1e9).is_infinite());
+        assert!(F16::from_f32(-1e9).is_sign_negative());
+        // 65504 + tiny still rounds back down to MAX.
+        assert_eq!(F16::from_f32(65504.0).to_bits(), F16::MAX.to_bits());
+    }
+
+    #[test]
+    fn subnormals() {
+        let smallest = 2.0f32.powi(-24); // smallest f16 subnormal
+        let h = F16::from_f32(smallest);
+        assert!(h.is_subnormal());
+        assert_eq!(h.to_f32(), smallest);
+        // Round-trip every subnormal bit pattern.
+        for bits in 1..=MAN_MASK {
+            let h = F16::from_bits(bits);
+            assert!(h.is_subnormal());
+            assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+        // Below half the smallest subnormal flushes to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)).to_bits(), 0);
+        // Exactly half the smallest subnormal: RNE ties to even (zero).
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)).to_bits(), 0);
+    }
+
+    #[test]
+    fn nan_and_inf_propagate() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert_eq!(
+            F16::from_f32(f32::INFINITY).to_bits(),
+            F16::INFINITY.to_bits()
+        );
+        assert_eq!(
+            F16::from_f32(f32::NEG_INFINITY).to_bits(),
+            F16::NEG_INFINITY.to_bits()
+        );
+        assert!((F16::INFINITY - F16::INFINITY).is_nan());
+        assert!(!(F16::NAN == F16::NAN));
+    }
+
+    #[test]
+    fn signed_zero() {
+        let nz = F16::from_f32(-0.0);
+        assert!(nz.is_sign_negative());
+        assert_eq!(nz.to_f32(), 0.0);
+        assert_eq!(nz.to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn arithmetic_matches_f32_rounded() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((b / a).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn every_f16_round_trips_through_f32() {
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x} failed round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(F16::NEG_ONE < F16::ZERO);
+        assert!(F16::ZERO < F16::ONE);
+        assert!(F16::ONE < F16::INFINITY);
+        assert!(F16::NAN.partial_cmp(&F16::ONE).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The [`Real`] trait: the closed set of compute types used inside kernels.
+//!
+//! Kernels never do arithmetic in the storage type directly; they upcast to
+//! the associated `Real` accumulation type (see [`crate::Scalar`]). Only
+//! `f32` and `f64` implement `Real` — exactly the compute precisions modern
+//! GPU scalar ALUs provide.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point compute type with the operations the SVD kernels need.
+pub trait Real:
+    Copy
+    + Clone
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Two.
+    const TWO: Self;
+    /// One half.
+    const HALF: Self;
+    /// Machine epsilon of the compute type.
+    const EPSILON: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// Largest finite value.
+    const MAX: Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Larger of `self` and `other` (NaN-ignoring like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of `self` and `other`.
+    fn min(self, other: Self) -> Self;
+    /// `sqrt(self^2 + other^2)` without undue overflow/underflow.
+    fn hypot(self, other: Self) -> Self;
+    /// Sign transfer: `|self| * sign(sign)`.
+    fn copysign(self, sign: Self) -> Self;
+    /// True if the value is finite.
+    fn is_finite(self) -> bool;
+    /// True if the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Raise to an integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Natural logarithm (used by test-matrix generators).
+    fn ln(self) -> Self;
+    /// Exponential.
+    fn exp(self) -> Self;
+    /// Conversion from `f64` (value-changing for `f32`).
+    fn from_f64(x: f64) -> Self;
+    /// Conversion to `f64` (exact for both implementors).
+    fn to_f64(self) -> f64;
+    /// Conversion from `usize` (exact for the sizes used here).
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const EPSILON: Self = <$t>::EPSILON;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const MAX: Self = <$t>::MAX;
+
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                self.hypot(other)
+            }
+            #[inline(always)]
+            fn copysign(self, sign: Self) -> Self {
+                self.copysign(sign)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                self.is_nan()
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                self.powi(n)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_ops<R: Real>() -> (R, R) {
+        let a = R::from_f64(3.0);
+        let b = R::from_f64(4.0);
+        (a.hypot(b), (a * a + b * b).sqrt())
+    }
+
+    #[test]
+    fn hypot_matches_sqrt_form() {
+        let (h32, s32) = generic_ops::<f32>();
+        assert!((h32 - s32).abs() <= f32::EPSILON * 8.0);
+        assert_eq!(h32, 5.0);
+        let (h64, s64) = generic_ops::<f64>();
+        assert!((h64 - s64).abs() <= f64::EPSILON * 8.0);
+        assert_eq!(h64, 5.0);
+    }
+
+    #[test]
+    fn constants_sane() {
+        assert_eq!(f32::TWO, 2.0);
+        assert_eq!(f64::HALF, 0.5);
+        assert!(f32::EPSILON > f64::EPSILON as f32 || true);
+        assert_eq!(<f64 as Real>::from_usize(42), 42.0);
+    }
+
+    #[test]
+    fn copysign_and_abs() {
+        assert_eq!(Real::copysign(3.0f64, -1.0), -3.0);
+        assert_eq!(Real::abs(-3.0f32), 3.0);
+        assert_eq!(Real::max(1.0f32, 2.0), 2.0);
+        assert_eq!(Real::min(1.0f64, 2.0), 1.0);
+    }
+}

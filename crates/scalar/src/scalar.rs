@@ -1,0 +1,211 @@
+//! The [`Scalar`] storage-type trait and the [`PrecisionKind`] runtime tag.
+
+use crate::{Real, F16};
+use core::fmt::{Debug, Display};
+
+/// Runtime tag identifying a storage precision.
+///
+/// Used by the hardware capability matrix (`gpu-sim`) and by the cost model
+/// (bytes per element, throughput ratios). The paper's support matrix —
+/// no FP64 on Apple Metal, no FP16 on the AMD Julia stack — is enforced
+/// against this tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrecisionKind {
+    /// IEEE binary16.
+    Fp16,
+    /// IEEE binary32.
+    Fp32,
+    /// IEEE binary64.
+    Fp64,
+}
+
+impl PrecisionKind {
+    /// Storage size in bytes of one element.
+    pub const fn bytes(self) -> usize {
+        match self {
+            PrecisionKind::Fp16 => 2,
+            PrecisionKind::Fp32 => 4,
+            PrecisionKind::Fp64 => 8,
+        }
+    }
+
+    /// Short display name as used in the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PrecisionKind::Fp16 => "FP16",
+            PrecisionKind::Fp32 => "FP32",
+            PrecisionKind::Fp64 => "FP64",
+        }
+    }
+
+    /// All precisions, in increasing width.
+    pub const ALL: [PrecisionKind; 3] = [
+        PrecisionKind::Fp16,
+        PrecisionKind::Fp32,
+        PrecisionKind::Fp64,
+    ];
+}
+
+impl Display for PrecisionKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A storage scalar type usable in device matrices.
+///
+/// `Accum` is the compute type the kernels do arithmetic in. For `F16` it is
+/// `f32` (upcast at load, downcast at store — §4.3 of the paper); for the
+/// wider types it is the type itself.
+pub trait Scalar:
+    Copy + Clone + Send + Sync + Debug + Display + Default + PartialEq + PartialOrd + 'static
+{
+    /// Compute/accumulation type.
+    type Accum: Real;
+
+    /// Runtime precision tag.
+    const KIND: PrecisionKind;
+
+    /// Upcast to the compute type.
+    fn to_accum(self) -> Self::Accum;
+    /// Downcast (round) from the compute type.
+    fn from_accum(a: Self::Accum) -> Self;
+    /// Convert from `f64` (possibly rounding).
+    fn from_f64(x: f64) -> Self;
+    /// Convert to `f64` (exact for all three storage types).
+    fn to_f64(self) -> f64;
+
+    /// Machine epsilon of the *storage* format, expressed in the compute
+    /// type. This is the ε in the paper's `|x| < 10ε` small-reflector guard
+    /// (Alg. 3 line 14) and in the √n·ε backward-error bound.
+    fn storage_eps() -> Self::Accum;
+
+    /// Additive identity.
+    fn zero() -> Self {
+        Self::from_f64(0.0)
+    }
+    /// Multiplicative identity.
+    fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+}
+
+impl Scalar for F16 {
+    type Accum = f32;
+    const KIND: PrecisionKind = PrecisionKind::Fp16;
+
+    #[inline(always)]
+    fn to_accum(self) -> f32 {
+        self.to_f32()
+    }
+    #[inline(always)]
+    fn from_accum(a: f32) -> Self {
+        F16::from_f32(a)
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        F16::from_f64(x)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+    #[inline(always)]
+    fn storage_eps() -> f32 {
+        F16::EPSILON.to_f32()
+    }
+}
+
+impl Scalar for f32 {
+    type Accum = f32;
+    const KIND: PrecisionKind = PrecisionKind::Fp32;
+
+    #[inline(always)]
+    fn to_accum(self) -> f32 {
+        self
+    }
+    #[inline(always)]
+    fn from_accum(a: f32) -> Self {
+        a
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn storage_eps() -> f32 {
+        f32::EPSILON
+    }
+}
+
+impl Scalar for f64 {
+    type Accum = f64;
+    const KIND: PrecisionKind = PrecisionKind::Fp64;
+
+    #[inline(always)]
+    fn to_accum(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_accum(a: f64) -> Self {
+        a
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn storage_eps() -> f64 {
+        f64::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_bytes() {
+        assert_eq!(<F16 as Scalar>::KIND.bytes(), 2);
+        assert_eq!(<f32 as Scalar>::KIND.bytes(), 4);
+        assert_eq!(<f64 as Scalar>::KIND.bytes(), 8);
+        assert_eq!(PrecisionKind::Fp16.name(), "FP16");
+    }
+
+    #[test]
+    fn f16_accumulates_in_f32() {
+        // 2048 + 1 is not representable in f16 (ulp at 2048 is 2), but the
+        // accumulation happens in f32 and only the final store rounds.
+        let a = F16::from_f32(2048.0);
+        let acc = a.to_accum() + 1.0f32;
+        assert_eq!(acc, 2049.0); // exact in the compute type
+        assert_eq!(F16::from_accum(acc).to_f32(), 2048.0); // rounds at store
+    }
+
+    #[test]
+    fn storage_eps_ordering() {
+        assert!(F16::storage_eps() > f32::storage_eps());
+        assert!((f32::storage_eps() as f64) > f64::storage_eps());
+    }
+
+    fn roundtrip<T: Scalar>(x: f64) -> f64 {
+        T::from_f64(x).to_f64()
+    }
+
+    #[test]
+    fn generic_roundtrips() {
+        assert_eq!(roundtrip::<f64>(0.1), 0.1);
+        assert_eq!(roundtrip::<f32>(0.5), 0.5);
+        assert_eq!(roundtrip::<F16>(0.25), 0.25);
+        assert_eq!(F16::one().to_f64(), 1.0);
+        assert_eq!(f64::zero(), 0.0);
+    }
+}

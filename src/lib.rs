@@ -1,0 +1,44 @@
+//! # unisvd — portable unified GPU kernels for singular value computation
+//!
+//! Rust reproduction of Ringoot, Alomairy, Churavy & Edelman,
+//! *"Performant Unified GPU Kernels for Portable Singular Value
+//! Computation Across Hardware and Precision"*, ICPP 2025.
+//!
+//! This facade crate re-exports the full public API of the workspace:
+//!
+//! * [`svdvals`] / [`svdvals_with`] — the unified singular value API,
+//!   generic over storage precision ([`F16`], `f32`, `f64`) and hardware
+//!   backend (simulated devices for the six platforms of the paper's
+//!   Table 2).
+//! * [`Device`] / [`hw`] — the bulk-synchronous GPU simulator and the
+//!   hardware descriptors.
+//! * [`Matrix`] and test-matrix generators.
+//! * Comparator baselines (Jacobi oracle, one-stage `gebrd`, and the five
+//!   simulated libraries of the paper's evaluation).
+//!
+//! ```
+//! use unisvd::{svdvals, Device, hw, Matrix};
+//!
+//! let a = Matrix::<f32>::identity(64);
+//! let dev = Device::numeric(hw::h100());
+//! let sv = svdvals(&a, &dev).unwrap();
+//! assert!((sv[0] - 1.0).abs() < 1e-5);
+//! ```
+
+pub use unisvd_baselines::{
+    gebrd, jacobi_svd, jacobi_svdvals, onestage_svdvals, Library, SvdFactors,
+};
+pub use unisvd_core::{
+    band_to_bidiagonal, bdsqr, bisect, dqds, svdvals, svdvals_batched, svdvals_cost, svdvals_with,
+    Stage3Solver, SvdConfig, SvdError, SvdOutput,
+};
+pub use unisvd_gpu::hw;
+pub use unisvd_gpu::{
+    BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchSpec,
+    TraceSummary, UnsupportedPrecision,
+};
+pub use unisvd_kernels::HyperParams;
+pub use unisvd_matrix::{
+    reference, testmat, BandMatrix, Bidiagonal, Matrix, MatrixRef, SvDistribution,
+};
+pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};

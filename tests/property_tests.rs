@@ -1,0 +1,127 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction: singular value correctness, stage invariants, and the
+//! scalar/precision substrate.
+
+use proptest::prelude::*;
+use unisvd::reference::sv_relative_error;
+use unisvd::{bdsqr, bisect, hw, jacobi_svdvals, svdvals, Bidiagonal, Device, Matrix, F16};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The unified pipeline agrees with the Jacobi oracle on arbitrary
+    /// small matrices (entries in [-1, 1], any size 2..=40).
+    #[test]
+    fn unified_agrees_with_jacobi(
+        n in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = unisvd::testmat::random_general::<f64, _>(n, n, &mut rng);
+        let dev = Device::numeric(hw::h100());
+        let s1 = svdvals(&a, &dev).unwrap();
+        let s2 = jacobi_svdvals(&a);
+        let err = sv_relative_error(&s1, &s2);
+        prop_assert!(err < 1e-10, "n={n} err={err:.2e}");
+    }
+
+    /// bdsqr and bisection agree on arbitrary bidiagonals, including
+    /// zeros and sign flips.
+    #[test]
+    fn bidiagonal_solvers_agree(
+        d in prop::collection::vec(-2.0f64..2.0, 1..60),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = d.len();
+        let mut e: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        // Sprinkle exact zeros to exercise splitting.
+        if n > 4 {
+            e[n / 2 - 1] = 0.0;
+        }
+        let bi = Bidiagonal::new(d, e);
+        let s1 = bdsqr(&bi).unwrap();
+        let s2 = bisect(&bi);
+        for i in 0..n {
+            prop_assert!(
+                (s1[i] - s2[i]).abs() < 1e-9 * (1.0 + s2[0]),
+                "σ[{i}]: {} vs {}", s1[i], s2[i]
+            );
+        }
+    }
+
+    /// Σσ² = ‖B‖²_F for the bidiagonal solver (exact invariant of
+    /// orthogonal iterations).
+    #[test]
+    fn bdsqr_preserves_frobenius(
+        d in prop::collection::vec(-3.0f64..3.0, 2..50),
+        e_seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(e_seed);
+        let n = d.len();
+        let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let bi = Bidiagonal::new(d, e);
+        let fro2 = bi.fro_norm().powi(2);
+        let sv = bdsqr(&bi).unwrap();
+        let sum: f64 = sv.iter().map(|s| s * s).sum();
+        prop_assert!(((sum - fro2) / fro2.max(1e-30)).abs() < 1e-11);
+    }
+
+    /// Singular values are invariant under transposition (exercises the
+    /// lazy-transpose path end to end).
+    #[test]
+    fn transpose_invariance(n in 4usize..32, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = unisvd::testmat::random_general::<f64, _>(n, n, &mut rng);
+        let at = a.transposed();
+        let dev = Device::numeric(hw::h100());
+        let s1 = svdvals(&a, &dev).unwrap();
+        let s2 = svdvals(&at, &dev).unwrap();
+        for i in 0..n {
+            prop_assert!((s1[i] - s2[i]).abs() < 1e-11);
+        }
+    }
+
+    /// F16 round trip: every f32 value representable in f16 survives a
+    /// store/load cycle exactly; every conversion is monotone.
+    #[test]
+    fn f16_conversion_properties(bits in any::<u16>(), x in -1e5f32..1e5, y in -1e5f32..1e5) {
+        let h = F16::from_bits(bits);
+        if !h.is_nan() {
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+        // Monotonicity of rounding.
+        if x <= y {
+            let (hx, hy) = (F16::from_f32(x), F16::from_f32(y));
+            if !hx.is_nan() && !hy.is_nan() {
+                prop_assert!(hx <= hy, "monotonicity violated: {x} -> {hx:?}, {y} -> {hy:?}");
+            }
+        }
+        // Rounding is faithful: |h - x| <= ulp.
+        let h = F16::from_f32(x);
+        if h.is_finite() {
+            let err = (h.to_f32() - x).abs();
+            let ulp = (x.abs() * F16::EPSILON.to_f32()).max(f32::MIN_POSITIVE);
+            prop_assert!(err <= ulp, "|{h:?} - {x}| = {err} > ulp {ulp}");
+        }
+    }
+
+    /// Matrix scaling: σ(cA) = |c|·σ(A).
+    #[test]
+    fn scaling_property(n in 4usize..24, c in 0.1f64..8.0, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = unisvd::testmat::random_general::<f64, _>(n, n, &mut rng);
+        let ca = Matrix::from_fn(n, n, |i, j| c * a[(i, j)]);
+        let dev = Device::numeric(hw::h100());
+        let s1 = svdvals(&a, &dev).unwrap();
+        let s2 = svdvals(&ca, &dev).unwrap();
+        for i in 0..n {
+            prop_assert!((s2[i] - c * s1[i]).abs() < 1e-10 * (1.0 + c * s1[0]));
+        }
+    }
+}
