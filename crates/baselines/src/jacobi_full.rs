@@ -175,8 +175,8 @@ mod tests {
         let (a, truth) =
             testmat::test_matrix::<f64, _>(24, SvDistribution::Logarithmic, false, &mut rng);
         let f = jacobi_svd(&a);
-        for i in 0..24 {
-            assert!((f.s[i] - truth[i]).abs() < 1e-12);
+        for (got, want) in f.s.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-12);
         }
     }
 

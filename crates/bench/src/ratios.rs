@@ -134,13 +134,11 @@ pub fn table4(max_n: usize) -> Vec<Table4Row> {
         .collect()
 }
 
+/// (geomean, min, max) speedup triple; `None` where a library cannot run.
+pub type SpeedupStats = Option<(f64, f64, f64)>;
+
 /// Paper's Table 4 (geomean, min, max) per platform.
-pub const PAPER_TABLE4: [(
-    &str,
-    Option<(f64, f64, f64)>,
-    Option<(f64, f64, f64)>,
-    Option<(f64, f64, f64)>,
-); 5] = [
+pub const PAPER_TABLE4: [(&str, SpeedupStats, SpeedupStats, SpeedupStats); 5] = [
     (
         "NVIDIA RTX4060",
         Some((1.5, 1.0, 4.2)),

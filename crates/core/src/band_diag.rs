@@ -19,6 +19,7 @@ use unisvd_scalar::Scalar;
 /// selects the single-launch `FTSQRT`/`FTSMQR` kernels (the paper's
 /// optimisation, Fig. 2) or the row-by-row classic kernels (the ablation
 /// baseline).
+#[allow(clippy::too_many_arguments)] // LAPACK-style kernel signature
 pub fn getsmqrt<T: Scalar>(
     dev: &Device,
     a: DMat<'_, T>,

@@ -329,11 +329,10 @@ mod tests {
         let a = Matrix::<f64>::from_fn(n, n, |i, j| if i == j { (n - i) as f64 } else { 0.0 });
         let dev = Device::numeric(h100());
         let sv = svdvals_with(&a, &dev, &small_cfg()).unwrap().values;
-        for i in 0..n {
+        for (i, s) in sv.iter().enumerate() {
             assert!(
-                (sv[i] - (n - i) as f64).abs() < 1e-12,
-                "σ[{i}] = {} want {}",
-                sv[i],
+                (s - (n - i) as f64).abs() < 1e-12,
+                "σ[{i}] = {s} want {}",
                 n - i
             );
         }
@@ -488,8 +487,8 @@ mod tests {
         // Wide input takes the transposed path.
         let wide = tall.transposed();
         let sv_w = svdvals(&wide, &dev).unwrap();
-        for i in 0..12 {
-            assert!((out.values[i] - sv_w[i]).abs() < 1e-12);
+        for (v, w) in out.values.iter().zip(&sv_w).take(12) {
+            assert!((v - w).abs() < 1e-12);
         }
     }
 

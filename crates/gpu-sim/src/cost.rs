@@ -192,7 +192,7 @@ fn compute_elem_bytes(p: PrecisionKind) -> u64 {
 
 /// Saturating, sublinear utilisation ramp.
 fn util(occ: f64, knee: f64) -> f64 {
-    (occ / knee).powf(UTIL_EXP).min(1.0).max(1e-4)
+    (occ / knee).powf(UTIL_EXP).clamp(1e-4, 1.0)
 }
 
 /// Evaluates the cost model for one launch on one device.
@@ -211,16 +211,14 @@ pub fn cost_of_launch(hw: &HardwareDescriptor, spec: &LaunchSpec) -> LaunchCost 
     // the register file, shared memory in the L1-carved scratchpad.
     let by_threads = (hw.max_threads_per_sm as usize / slot_threads.max(1)).max(1);
     let by_blocks = hw.max_blocks_per_sm as usize;
-    let by_regs = if reg_bytes_per_block == 0 {
-        usize::MAX
-    } else {
-        (hw.regfile_bytes / reg_bytes_per_block) as usize
-    };
-    let by_smem = if smem_bytes_per_block == 0 {
-        usize::MAX
-    } else {
-        (hw.l1_bytes / smem_bytes_per_block) as usize
-    };
+    let by_regs = hw
+        .regfile_bytes
+        .checked_div(reg_bytes_per_block)
+        .map_or(usize::MAX, |v| v as usize);
+    let by_smem = hw
+        .l1_bytes
+        .checked_div(smem_bytes_per_block)
+        .map_or(usize::MAX, |v| v as usize);
     let blocks_per_sm = by_threads.min(by_blocks).min(by_regs).min(by_smem).max(1);
 
     let resident_blocks = spec.grid.min(blocks_per_sm * hw.sm_count as usize);

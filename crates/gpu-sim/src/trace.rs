@@ -77,6 +77,7 @@ impl Trace {
     }
 
     /// Convenience: append from a spec-evaluation pair.
+    #[allow(clippy::too_many_arguments)] // mirrors LaunchSpec field order
     pub fn push_kernel(
         &mut self,
         class: KernelClass,

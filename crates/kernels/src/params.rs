@@ -123,7 +123,7 @@ mod tests {
         ] {
             for p in PrecisionKind::ALL {
                 let hp = HyperParams::tuned(b, p);
-                assert!(hp.tilesize % hp.colperblock == 0);
+                assert!(hp.tilesize.is_multiple_of(hp.colperblock));
             }
         }
         // AMD FP64 must use smaller tiles than AMD FP32 (§3.3).

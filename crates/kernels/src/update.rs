@@ -166,6 +166,7 @@ fn wg_col(tid: usize, _cpb: usize) -> usize {
 
 /// `UNMQR`: applies the diagonal-tile reflectors of panel `(tr0, pc)` to
 /// the `ncols` columns starting at `col0` of tile row `tr0`.
+#[allow(clippy::too_many_arguments)] // LAPACK-style kernel signature
 pub fn unmqr<T: Scalar>(
     dev: &Device,
     a: DMat<'_, T>,
@@ -190,6 +191,7 @@ pub fn unmqr<T: Scalar>(
 
 /// `TSMQR` (unfused): applies the coupled reflectors of tile `(lt, pc)` to
 /// the column group of rows `tr0` (top) and `lt`.
+#[allow(clippy::too_many_arguments)] // LAPACK-style kernel signature
 pub fn tsmqr<T: Scalar>(
     dev: &Device,
     a: DMat<'_, T>,

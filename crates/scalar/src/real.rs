@@ -173,7 +173,7 @@ mod tests {
     fn constants_sane() {
         assert_eq!(f32::TWO, 2.0);
         assert_eq!(f64::HALF, 0.5);
-        assert!(f32::EPSILON > f64::EPSILON as f32 || true);
+        assert!((f32::EPSILON as f64) > f64::EPSILON);
         assert_eq!(<f64 as Real>::from_usize(42), 42.0);
     }
 

@@ -1,0 +1,242 @@
+//! Minimal, deterministic, API-compatible subset of the `rand` crate.
+//!
+//! The build environment for this reproduction is fully offline, so the
+//! workspace vendors the thin slice of `rand`'s surface that the code
+//! actually uses: [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over primitive ranges, and [`Rng::sample`] with a
+//! [`distributions::Distribution`]. The generator is SplitMix64 — fast,
+//! well-distributed, and stable across platforms, which keeps every
+//! seeded test reproducible bit-for-bit.
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One scramble round so that nearby seeds diverge immediately.
+            let mut rng = StdRng::from_state(seed ^ 0x5DEE_CE66_D5A7_F9CB);
+            use crate::RngCore;
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Raw generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// Uniform value from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        crate::distributions::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod distributions {
+    use crate::RngCore;
+
+    /// Uniform f64 in [0, 1) with 53 random bits.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A distribution sampling values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T>> Distribution<T> for &D {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// The "natural" uniform distribution of each primitive type.
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f64(rng) as f32
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// A range that `Rng::gen_range` can sample a single value from.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range in gen_range");
+                        let u = super::unit_f64(rng) as $t;
+                        self.start + (self.end - self.start) * u
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in gen_range");
+                        let u = super::unit_f64(rng) as $t;
+                        lo + (hi - lo) * u
+                    }
+                }
+            )*};
+        }
+        float_range!(f32, f64);
+
+        macro_rules! int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range in gen_range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in gen_range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let v = (rng.next_u64() as u128) % span;
+                        (lo as i128 + v as i128) as $t
+                    }
+                }
+            )*};
+        }
+        int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+}
+
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: f64 = a.gen_range(-1.0..1.0);
+            let y: f64 = b.gen_range(-1.0..1.0);
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v: usize = rng.gen_range(0..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

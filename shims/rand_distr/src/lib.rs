@@ -1,0 +1,45 @@
+//! Minimal offline subset of `rand_distr`: just [`StandardNormal`],
+//! implemented with the Box–Muller transform (no rejection loop, so the
+//! draw count per sample is fixed and seeded streams stay reproducible).
+
+use rand::distributions::{unit_f64, Distribution};
+use rand::RngCore;
+
+pub use rand::distributions::Standard;
+
+/// Standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1], u2 in [0, 1).
+        let u1 = 1.0 - unit_f64(rng);
+        let u2 = unit_f64(rng);
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let x: f64 = Distribution::<f64>::sample(self, rng);
+        x as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline subset of `rayon`. `par_iter`/`into_par_iter` hand back the
+//! ordinary sequential iterator, so every adapter (`map`, `for_each`,
+//! `collect`, `sum`, …) resolves to `std::iter::Iterator` methods and the
+//! program's results are identical to the parallel version — the only
+//! thing lost is wall-clock speedup, which the simulator's *modelled*
+//! time does not depend on.
+
+pub mod prelude {
+    /// `into_par_iter()` on any `IntoIterator` (ranges, `Vec`, …).
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` on anything iterable by shared reference
+    /// (slices, `Vec`, arrays, maps, …).
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Item = <&'data I as IntoIterator>::Item;
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` on anything iterable by unique reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Item = <&'data mut I as IntoIterator>::Item;
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_semantics_match() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: i32 = (0..10).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline `serde_json` subset: renders the shim's `serde::Value` tree as
+//! real JSON text. Only the producing half (`to_string` /
+//! `to_string_pretty`) exists — nothing in this workspace parses JSON.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            // JSON has no NaN/Inf; mirror serde_json's strictness loosely
+            // by emitting null (we never round-trip these files).
+            if x.is_finite() {
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep floats recognisable as floats.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        name: &'static str,
+        n: usize,
+        err: f64,
+        tags: Vec<String>,
+    }
+
+    #[derive(serde::Serialize)]
+    enum Kind {
+        Alpha,
+        #[allow(dead_code)]
+        Beta,
+    }
+
+    #[test]
+    fn renders_struct_enum_and_containers() {
+        let row = Row {
+            name: "id\"x",
+            n: 3,
+            err: 0.5,
+            tags: vec!["a".into()],
+        };
+        let s = to_string(&row).unwrap();
+        assert_eq!(s, r#"{"name":"id\"x","n":3,"err":0.5,"tags":["a"]}"#);
+        assert_eq!(to_string(&Kind::Alpha).unwrap(), r#""Alpha""#);
+        assert_eq!(to_string(&(1usize, 2.5f64)).unwrap(), "[1,2.5]");
+        let pretty = to_string_pretty(&vec![1, 2]).unwrap();
+        assert_eq!(pretty, "[\n  1,\n  2\n]");
+    }
+}

@@ -1,0 +1,48 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion, so the quickstart paths shown in the crate docs stay
+//! honest. Runs the debug binaries (the examples are sized to finish in
+//! a few seconds each even unoptimised).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "accuracy_study",
+    "image_compression",
+    "lora_rank_selection",
+    "portability_matrix",
+    "solver_showdown",
+];
+
+fn target_dir() -> PathBuf {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target"))
+}
+
+#[test]
+fn all_examples_run() {
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let status = Command::new(&cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("failed to invoke cargo");
+    assert!(status.success(), "cargo build --examples failed");
+
+    let bin_dir = target_dir().join("debug").join("examples");
+    for name in EXAMPLES {
+        let out = Command::new(bin_dir.join(name))
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("could not launch example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} exited with {:?}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "example {name} produced no output");
+    }
+}

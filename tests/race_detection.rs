@@ -6,7 +6,7 @@ use unisvd::{hw, Device, KernelClass, LaunchSpec, Matrix, SvDistribution};
 #[test]
 fn deliberate_write_write_race_is_caught() {
     let dev = Device::numeric(hw::h100()).race_checked();
-    let buf = dev.upload(&vec![0.0f64; 16]);
+    let buf = dev.upload(&[0.0f64; 16]);
     let mut spec = LaunchSpec::new(KernelClass::Other, "racy", 4, 4);
     spec.flops = 1.0;
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -43,7 +43,7 @@ fn same_location_across_launches_is_fine() {
     // Rewriting an element in a *later* launch is not a race (epochs
     // differ) — exactly how the trailing update revisits tiles per panel.
     let dev = Device::numeric(hw::h100()).race_checked();
-    let buf = dev.upload(&vec![0.0f64; 8]);
+    let buf = dev.upload(&[0.0f64; 8]);
     let mut spec = LaunchSpec::new(KernelClass::Other, "two_launches", 1, 8);
     spec.flops = 1.0;
     for pass in 0..3 {
