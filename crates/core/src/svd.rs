@@ -246,9 +246,15 @@ pub fn svdvals_cost<T: Scalar>(
 }
 
 /// Batched singular values: solves many independent problems, one device
-/// stream each, in parallel on the host pool — the many-small-adapters
-/// pattern of the LoRA workloads that motivate the paper's introduction.
-/// Returns one result per input, in order.
+/// stream each, in parallel on the host work-stealing pool — the
+/// many-small-adapters pattern of the LoRA workloads that motivate the
+/// paper's introduction. Returns one result per input, in order.
+///
+/// Runs on the current pool (`RAYON_NUM_THREADS`, or an installed
+/// [`rayon::ThreadPool`](rayon::ThreadPoolBuilder)); each matrix gets its
+/// own [`Device`], and collection is index-ordered, so results are
+/// **bit-identical** for any thread count — including the sequential
+/// 1-thread fallback.
 pub fn svdvals_batched<T: Scalar>(
     mats: &[Matrix<T>],
     hw: &unisvd_gpu::HardwareDescriptor,

@@ -66,9 +66,43 @@ impl<T: Copy + Send + Sync> GlobalBuffer<T> {
         self
     }
 
-    /// Allocates `len` elements initialised to `fill`.
+    /// Allocates `len` elements initialised to `fill`. Large buffers are
+    /// filled in parallel on the host pool (each chunk writes a disjoint
+    /// index range — the device-alloc path for padded n×n problems);
+    /// small ones inline. Contents are identical either way.
     pub fn filled(len: usize, fill: T) -> Self {
-        Self::from_vec(vec![fill; len])
+        /// Below this, the pool dispatch overhead beats the plain fill.
+        const PAR_FILL_MIN: usize = 1 << 16;
+        if len < PAR_FILL_MIN {
+            return Self::from_vec(vec![fill; len]);
+        }
+        use rayon::prelude::*;
+        struct CellPtr<T>(*mut DeviceCell<T>);
+        // SAFETY: each index is written by exactly one chunk below.
+        unsafe impl<T: Send + Sync> Send for CellPtr<T> {}
+        unsafe impl<T: Send + Sync> Sync for CellPtr<T> {}
+        impl<T> CellPtr<T> {
+            /// Method (not field) access so the closure captures the
+            /// wrapper, keeping the `Send`/`Sync` impls effective under
+            /// edition-2021 disjoint capture.
+            unsafe fn at(&self, i: usize) -> *mut DeviceCell<T> {
+                self.0.add(i)
+            }
+        }
+        let mut cells: Vec<DeviceCell<T>> = Vec::with_capacity(len);
+        let base = CellPtr(cells.as_mut_ptr());
+        (0..len).into_par_iter().for_each(|i| {
+            // SAFETY: `i` is in capacity bounds and each index is written
+            // exactly once, by the chunk that owns it.
+            unsafe { base.at(i).write(DeviceCell(UnsafeCell::new(fill))) };
+        });
+        // SAFETY: every slot in 0..len was initialised above, and the
+        // parallel loop completed before this point.
+        unsafe { cells.set_len(len) };
+        GlobalBuffer {
+            cells: cells.into_boxed_slice(),
+            tags: None,
+        }
     }
 
     /// Element count.
@@ -150,6 +184,15 @@ mod tests {
         let b = GlobalBuffer::filled(4, 7i32);
         assert_eq!(b.to_vec(), vec![7, 7, 7, 7]);
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn filled_buffer_parallel_path() {
+        // Crosses the parallel-fill threshold (1 << 16 elements).
+        let len = (1 << 16) + 1234;
+        let b = GlobalBuffer::filled(len, 0.5f32);
+        assert_eq!(b.len(), len);
+        assert!((0..len).all(|i| b.read(i) == 0.5));
     }
 
     #[test]

@@ -86,18 +86,37 @@ impl Device {
     }
 
     /// Launches a kernel. The body runs once per workgroup (in parallel on
-    /// the host thread pool) in [`ExecMode::Numeric`]; in trace-only mode
-    /// only the cost is accounted. The body must confine cross-workgroup
-    /// global writes to disjoint locations (see [`GlobalBuffer`]).
+    /// the host work-stealing pool) in [`ExecMode::Numeric`]; in trace-only
+    /// mode only the cost is accounted. The body must confine
+    /// cross-workgroup global writes to disjoint locations (see
+    /// [`GlobalBuffer`]).
+    ///
+    /// Trace events are collected **per workgroup** (each workgroup writes
+    /// only its own grid-ordered slot) and merged into one complete
+    /// [`LaunchRecord`] pushed after the launch barrier, so every record's
+    /// *contents* are identical for any thread count or schedule. Record
+    /// *order* is launch-completion order: deterministic whenever a
+    /// device's launches are issued from one thread (as everywhere in
+    /// this workspace); concurrent launches on one shared device get
+    /// complete but completion-ordered records.
     pub fn launch<R, F>(&self, spec: &LaunchSpec, body: F)
     where
         R: Real,
         F: Fn(&mut Workgroup<R>) + Sync,
     {
         let cost = cost_of_launch(&self.desc, spec);
-        self.trace.lock().push_kernel(
-            spec.class, spec.label, spec.grid, spec.block, spec.flops, spec.bytes, cost,
-        );
+        let mut rec = LaunchRecord {
+            class: spec.class,
+            label: spec.label,
+            grid: spec.grid,
+            block: spec.block,
+            seconds: cost.seconds,
+            flops: spec.flops,
+            bytes: spec.bytes,
+            occupancy: cost.occupancy,
+            spill: cost.spill,
+            wg_steps: Vec::new(),
+        };
         if self.mode == ExecMode::Numeric {
             // Numeric geometry may differ from the costed geometry for
             // purely computational parameters (SPLITK); see `ExecGeometry`.
@@ -118,22 +137,27 @@ impl Device {
                 }
                 let mut wg = Workgroup::new(0, block, rpt, smem);
                 body(&mut wg);
+                rec.wg_steps = vec![wg.steps() as u32];
                 if race {
                     crate::buffer::set_race_ctx(0, 0, false);
                 }
             } else {
-                (0..spec.grid).into_par_iter().for_each(|g| {
+                let mut wg_steps = vec![0u32; spec.grid];
+                wg_steps.par_iter_mut().enumerate().for_each(|(g, slot)| {
                     if race {
                         crate::buffer::set_race_ctx(epoch, g as u64, true);
                     }
                     let mut wg = Workgroup::new(g, block, rpt, smem);
                     body(&mut wg);
+                    *slot = wg.steps() as u32;
                     if race {
                         crate::buffer::set_race_ctx(0, 0, false);
                     }
                 });
+                rec.wg_steps = wg_steps;
             }
         }
+        self.trace.lock().push(rec);
     }
 
     /// Accounts a host↔device transfer of `bytes` (hybrid baselines).
@@ -149,6 +173,7 @@ impl Device {
             bytes,
             occupancy: 0.0,
             spill: 1.0,
+            wg_steps: Vec::new(),
         });
     }
 
@@ -166,6 +191,7 @@ impl Device {
             bytes: 0.0,
             occupancy: 0.0,
             spill: 1.0,
+            wg_steps: Vec::new(),
         });
     }
 
@@ -286,5 +312,23 @@ mod tests {
         let recs = dev.records();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[1].grid, 2);
+    }
+
+    #[test]
+    fn wg_steps_merged_in_grid_order() {
+        // Workgroup g runs g+1 supersteps; the record must list them by
+        // grid index regardless of how the pool interleaved execution.
+        let dev = Device::numeric(h100()).keep_records();
+        dev.launch::<f64, _>(&spec(6, 4), |wg| {
+            for _ in 0..=wg.group_id() {
+                wg.step(|_| {});
+            }
+        });
+        let recs = dev.records();
+        assert_eq!(recs[0].wg_steps, vec![1, 2, 3, 4, 5, 6]);
+        // Trace-only launches carry no per-workgroup data.
+        let tdev = Device::trace_only(h100()).keep_records();
+        tdev.launch::<f64, _>(&spec(6, 4), |_| {});
+        assert!(tdev.records()[0].wg_steps.is_empty());
     }
 }

@@ -4,7 +4,10 @@
 //! stack (KernelAbstractions.jl + GPUArrays.jl over CUDA/ROCm/oneAPI/
 //! Metal). Kernels are written against a workgroup / thread / shared-memory
 //! / barrier programming model ([`Workgroup`]) and executed on the host via
-//! rayon, one task per workgroup. Every launch is costed by an analytic
+//! the vendored work-stealing thread pool (`rayon` shim), one task per
+//! chunk of workgroups. Per-workgroup trace events land in grid-ordered
+//! slots, so traces and numerics are bit-identical for any
+//! `RAYON_NUM_THREADS`. Every launch is costed by an analytic
 //! roofline model ([`cost`]) driven by the *actual* event counts of the
 //! launch (grid/block geometry, flops, bytes, register and shared-memory
 //! footprint) against the hardware descriptors of the paper's Table 2

@@ -5,7 +5,7 @@
 //! counts per [`KernelClass`] — the data behind Fig. 6 (stage breakdown)
 //! and the fused-kernel ablation (launch-count scaling).
 
-use crate::cost::{KernelClass, LaunchCost};
+use crate::cost::KernelClass;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -30,6 +30,13 @@ pub struct LaunchRecord {
     pub occupancy: f64,
     /// Spill multiplier.
     pub spill: f64,
+    /// Supersteps executed by each workgroup of the launch, indexed by
+    /// group id. Collected per workgroup (each slot written only by the
+    /// workgroup that owns it) and merged in grid order after the launch
+    /// barrier, so the trace is identical no matter how workgroups were
+    /// interleaved across the host pool. Empty for trace-only launches,
+    /// transfers and CPU events.
+    pub wg_steps: Vec<u32>,
 }
 
 /// Aggregated statistics for one kernel class.
@@ -74,31 +81,6 @@ impl Trace {
         if self.keep_records {
             self.records.push(rec);
         }
-    }
-
-    /// Convenience: append from a spec-evaluation pair.
-    #[allow(clippy::too_many_arguments)] // mirrors LaunchSpec field order
-    pub fn push_kernel(
-        &mut self,
-        class: KernelClass,
-        label: &'static str,
-        grid: usize,
-        block: usize,
-        flops: f64,
-        bytes: f64,
-        cost: LaunchCost,
-    ) {
-        self.push(LaunchRecord {
-            class,
-            label,
-            grid,
-            block,
-            seconds: cost.seconds,
-            flops,
-            bytes,
-            occupancy: cost.occupancy,
-            spill: cost.spill,
-        });
     }
 
     /// All retained records (empty unless `keep_records`).
@@ -186,6 +168,7 @@ mod tests {
             bytes: 10.0,
             occupancy: 0.5,
             spill: 1.0,
+            wg_steps: vec![3],
         }
     }
 

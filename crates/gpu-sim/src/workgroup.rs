@@ -25,6 +25,9 @@ pub struct Workgroup<R> {
     regs: Vec<R>,
     /// Block shared memory (`@localmem`).
     shared: Vec<R>,
+    /// Supersteps (barriers) executed so far; collected per workgroup into
+    /// the launch trace, merged in grid order.
+    steps: usize,
 }
 
 /// Per-thread view handed to a superstep closure: the thread id, its
@@ -48,6 +51,7 @@ impl<R: Real> Workgroup<R> {
             regs_per_thread,
             regs: vec![R::ZERO; nthreads * regs_per_thread],
             shared: vec![R::ZERO; smem],
+            steps: 0,
         }
     }
 
@@ -63,10 +67,17 @@ impl<R: Real> Workgroup<R> {
         self.nthreads
     }
 
+    /// Supersteps executed so far (each `step`/`step_one` counts one).
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
     /// Runs one superstep: the closure executes for every thread id with
     /// its private registers and the shared memory, then all threads
     /// barrier (implicitly, by the step ending).
     pub fn step(&mut self, mut f: impl FnMut(ThreadCtx<'_, R>)) {
+        self.steps += 1;
         let rpt = self.regs_per_thread;
         for tid in 0..self.nthreads {
             let regs = if rpt == 0 {
@@ -86,6 +97,7 @@ impl<R: Real> Workgroup<R> {
     /// lines of Algorithm 3). Still ends with a barrier.
     pub fn step_one(&mut self, tid: usize, mut f: impl FnMut(ThreadCtx<'_, R>)) {
         assert!(tid < self.nthreads, "thread id out of range");
+        self.steps += 1;
         let rpt = self.regs_per_thread;
         let regs = if rpt == 0 {
             &mut [][..]
@@ -142,6 +154,7 @@ mod tests {
         assert_eq!(vals, vec![0.0, 0.0, 5.0, 0.0]);
         assert_eq!(wg.group_id(), 3);
         assert_eq!(wg.nthreads(), 4);
+        assert_eq!(wg.steps(), 2, "step_one and step each count once");
     }
 
     #[test]

@@ -226,6 +226,24 @@ pub fn random_general<T: Scalar, R: Rng>(rows: usize, cols: usize, rng: &mut R) 
     Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)))
 }
 
+/// Kahan's graded upper-triangular matrix
+/// `K = diag(1, s, …, sⁿ⁻¹)·U` with `U` unit-diagonal and `-c` above the
+/// diagonal, `s² + c² = 1`. A classic stress test for QR-based SVD: the
+/// singular values span several magnitudes and the matrix is far from
+/// normal. Used by the golden-value accuracy suite and the determinism
+/// suite.
+pub fn kahan(n: usize, c: f64) -> Matrix<f64> {
+    let s = (1.0 - c * c).sqrt();
+    Matrix::from_fn(n, n, |i, j| {
+        let g = s.powi(i as i32);
+        match j.cmp(&i) {
+            std::cmp::Ordering::Less => 0.0,
+            std::cmp::Ordering::Equal => g,
+            std::cmp::Ordering::Greater => -c * g,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

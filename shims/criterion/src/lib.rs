@@ -1,14 +1,66 @@
 //! Offline subset of `criterion`. Bench registration, groups, ids, and
-//! `Bencher::iter` keep their upstream signatures so the six paper-figure
+//! `Bencher::iter` keep their upstream signatures so the paper-figure
 //! benches compile unchanged; measurement is a simple warm-up plus a
 //! fixed-budget timing loop that prints mean wall time per iteration.
 //! (No statistics, no HTML reports — this exists so `cargo bench`
 //! produces honest numbers in an offline CI container.)
+//!
+//! Two env knobs for CI:
+//!
+//! * `BENCH_QUICK` — any value except `0` shrinks the timing budget and
+//!   sample counts to a smoke-test level (seconds, not minutes).
+//! * `BENCH_JSON=<path>` — after the targets of `criterion_main!` run,
+//!   every measured result is written to `<path>` as a JSON array of
+//!   `{"label", "seconds_per_iter", "iters"}` objects (the CI bench
+//!   artifact).
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when `BENCH_QUICK` requests smoke-test-sized measurement.
+/// Public so benches can scale their own extra measurement loops with
+/// the same switch.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0"))
+}
+
+struct BenchResult {
+    label: String,
+    seconds_per_iter: f64,
+    iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Writes all recorded results to `$BENCH_JSON` (no-op when unset).
+/// Called by the `main` that `criterion_main!` generates.
+pub fn flush_results() {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let label = r.label.replace('\\', "\\\\").replace('"', "\\\"");
+        json.push_str(&format!(
+            "  {{\"label\": \"{label}\", \"seconds_per_iter\": {:e}, \"iters\": {}}}{}\n",
+            r.seconds_per_iter,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&path, json).expect("BENCH_JSON path must be writable");
+    println!(
+        "criterion shim: wrote {} results to {}",
+        results.len(),
+        path.to_string_lossy()
+    );
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -128,7 +180,11 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up (not timed).
         black_box(f());
-        let budget = Duration::from_millis(200);
+        let budget = if quick_mode() {
+            Duration::from_millis(15)
+        } else {
+            Duration::from_millis(200)
+        };
         let start = Instant::now();
         let mut iters = 0u64;
         while iters < self.iters || (start.elapsed() < budget && iters < 1_000_000) {
@@ -141,6 +197,11 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let sample_size = if quick_mode() {
+        sample_size.min(2)
+    } else {
+        sample_size
+    };
     let mut b = Bencher {
         iters: sample_size.max(1) as u64,
         elapsed: Duration::ZERO,
@@ -152,6 +213,14 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
         per_iter * 1e6,
         b.iters
     );
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            label: label.to_string(),
+            seconds_per_iter: per_iter,
+            iters: b.iters,
+        });
 }
 
 /// Declares a bench entry point that runs each target in order.
@@ -176,6 +245,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_results();
         }
     };
 }

@@ -1,62 +1,55 @@
-//! Offline subset of `rayon`. `par_iter`/`into_par_iter` hand back the
-//! ordinary sequential iterator, so every adapter (`map`, `for_each`,
-//! `collect`, `sum`, …) resolves to `std::iter::Iterator` methods and the
-//! program's results are identical to the parallel version — the only
-//! thing lost is wall-clock speedup, which the simulator's *modelled*
-//! time does not depend on.
+//! Offline subset of `rayon`, backed by a real hand-rolled work-stealing
+//! thread pool (std threads + mutexed deques + a condvar — no crossbeam,
+//! the build is offline).
+//!
+//! Covered API surface:
+//!
+//! * [`prelude`] — `par_iter` / `into_par_iter` / `par_iter_mut` over
+//!   slices, `Vec` and integer ranges, with `for_each`, `map`,
+//!   `enumerate`, `collect`, `sum`, `reduce` and `count`;
+//! * [`join`] and [`scope`] (fork-join and scoped spawns);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] for explicitly
+//!   sized pools, and [`current_num_threads`].
+//!
+//! The global pool sizes itself from `RAYON_NUM_THREADS` (a positive
+//! integer; `0`, unset or unparsable falls back to the machine's
+//! available parallelism). At 1 thread **no workers are spawned** and
+//! every operation runs inline — the guaranteed sequential fallback.
+//!
+//! **Determinism guarantee:** inputs are split into chunks whose count
+//! and boundaries depend only on the input length, never on the thread
+//! count or schedule. `collect` concatenates per-chunk buffers in chunk
+//! order, and `sum`/`reduce` combine per-chunk partials in chunk order
+//! on the calling thread, so results — including non-associative float
+//! reductions — are **bit-identical** across thread counts. Blocked
+//! callers execute queued jobs while they wait, so nested parallelism
+//! (a batched solve whose device launches fan out again) cannot
+//! deadlock.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+//! let squares: Vec<u64> = pool.install(|| (0..32u64).into_par_iter().map(|i| i * i).collect());
+//! assert_eq!(squares[7], 49);
+//! let (a, b) = rayon::join(|| 1 + 1, || 2 + 2);
+//! assert_eq!((a, b), (2, 4));
+//! ```
+
+mod iter;
+mod pool;
+
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 pub mod prelude {
-    /// `into_par_iter()` on any `IntoIterator` (ranges, `Vec`, …).
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter()` on anything iterable by shared reference
-    /// (slices, `Vec`, arrays, maps, …).
-    pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Item = <&'data I as IntoIterator>::Item;
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` on anything iterable by unique reference.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-    {
-        type Item = <&'data mut I as IntoIterator>::Item;
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
+    //! Traits required for `par_iter()` / `into_par_iter()` /
+    //! `par_iter_mut()` and the consumer methods on the result.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]

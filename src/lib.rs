@@ -34,11 +34,37 @@ pub use unisvd_core::{
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
-    BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchSpec,
-    TraceSummary, UnsupportedPrecision,
+    BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchRecord,
+    LaunchSpec, TraceSummary, UnsupportedPrecision,
 };
 pub use unisvd_kernels::HyperParams;
 pub use unisvd_matrix::{
     reference, testmat, BandMatrix, Bidiagonal, Matrix, MatrixRef, SvDistribution,
 };
 pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};
+
+/// Host threading controls, re-exported from the vendored work-stealing
+/// pool (`shims/rayon`).
+///
+/// Everything parallel in this workspace — [`svdvals_batched`], gpu-sim
+/// workgroup launches, buffer fills — runs on this pool. The global pool
+/// sizes itself from `RAYON_NUM_THREADS` (1 = guaranteed-sequential
+/// fallback, no worker threads at all); an explicitly sized pool can be
+/// installed around any call:
+///
+/// ```
+/// use unisvd::threading::ThreadPoolBuilder;
+/// use unisvd::{hw, svdvals_batched, Matrix, SvdConfig};
+///
+/// let mats: Vec<Matrix<f32>> = (0..4).map(|_| Matrix::identity(16)).collect();
+/// let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+/// let sv = pool.install(|| svdvals_batched(&mats, &hw::h100(), &SvdConfig::default()));
+/// assert!(sv.iter().all(|r| r.is_ok()));
+/// ```
+///
+/// Results are **bit-identical** for every thread count: work is split
+/// into chunks that depend only on input sizes, and all collection /
+/// reduction happens in fixed chunk order.
+pub mod threading {
+    pub use rayon::{current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuilder};
+}

@@ -1,0 +1,137 @@
+//! Determinism suite: the work-stealing pool must not change a single
+//! bit of any result. Batched solves, a full launch trace, and parallel
+//! float reductions are compared across thread counts (including the
+//! guaranteed-sequential 1-thread fallback), reusing the golden matrices
+//! of the accuracy suite.
+
+use rayon::prelude::*;
+use unisvd::threading::ThreadPoolBuilder;
+use unisvd::{
+    hw, svdvals_batched, svdvals_with, testmat, Device, HyperParams, LaunchRecord, Matrix,
+    SvDistribution, SvdConfig,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn pool(n: usize) -> unisvd::threading::ThreadPool {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+}
+
+/// The golden matrices of `tests/golden_values.rs` (identity, diagonal,
+/// rank-1, Kahan) plus random matrices with known spectra, including
+/// non-tile-multiple sizes that exercise the padding path.
+fn golden_batch() -> Vec<Matrix<f64>> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2026);
+    let n = 24;
+    let mut mats = vec![
+        Matrix::<f64>::identity(32),
+        Matrix::<f64>::from_fn(n, n, |i, j| if i == j { (n - i) as f64 } else { 0.0 }),
+        testmat::kahan(20, 0.285),
+    ];
+    for size in [27, 33, 48] {
+        mats.push(
+            testmat::test_matrix::<f64, _>(size, SvDistribution::Logarithmic, false, &mut rng).0,
+        );
+    }
+    mats
+}
+
+fn values_to_bits(results: &[Result<Vec<f64>, unisvd::SvdError>]) -> Vec<Vec<u64>> {
+    results
+        .iter()
+        .map(|r| r.as_ref().unwrap().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn batched_solves_bit_identical_across_thread_counts() {
+    let mats = golden_batch();
+    let hw = hw::h100();
+    let cfg = SvdConfig::default();
+    let run = |t: usize| pool(t).install(|| svdvals_batched(&mats, &hw, &cfg));
+    let sequential = values_to_bits(&run(1));
+    for t in THREAD_COUNTS {
+        let par = values_to_bits(&run(t));
+        assert_eq!(
+            par, sequential,
+            "svdvals_batched changed bits at {t} threads"
+        );
+    }
+    // The global (env-sized) pool must agree with the explicit pools too.
+    let global = values_to_bits(&svdvals_batched(&mats, &hw, &cfg));
+    assert_eq!(global, sequential, "global pool disagrees");
+}
+
+/// Serialises every field of a record into comparable bit patterns.
+fn record_key(
+    r: &LaunchRecord,
+) -> (
+    String,
+    String,
+    usize,
+    usize,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    Vec<u32>,
+) {
+    (
+        format!("{:?}", r.class),
+        r.label.to_string(),
+        r.grid,
+        r.block,
+        r.seconds.to_bits(),
+        r.flops.to_bits(),
+        r.bytes.to_bits(),
+        r.occupancy.to_bits(),
+        r.spill.to_bits(),
+        r.wg_steps.clone(),
+    )
+}
+
+#[test]
+fn launch_traces_bit_identical_across_thread_counts() {
+    // A 64×64 solve with a 16-wide tile produces multi-workgroup grids,
+    // so the per-workgroup slots genuinely exercise concurrent collection.
+    let a = testmat::kahan(64, 0.285);
+    let cfg = SvdConfig {
+        params: Some(HyperParams::new(16, 8, 1)),
+        ..SvdConfig::default()
+    };
+    let run = |t: usize| -> Vec<_> {
+        pool(t).install(|| {
+            let dev = Device::numeric(hw::h100()).keep_records();
+            svdvals_with(&a, &dev, &cfg).unwrap();
+            dev.records().iter().map(record_key).collect()
+        })
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.iter().any(|k| k.9.len() > 1),
+        "expected at least one multi-workgroup launch in the trace"
+    );
+    for t in THREAD_COUNTS {
+        assert_eq!(run(t), sequential, "trace changed at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_reductions_bit_identical_across_thread_counts() {
+    // Non-associative float sum: chunk boundaries (and therefore the
+    // combination tree) must not depend on the thread count.
+    let xs: Vec<f64> = (0..50_000)
+        .map(|i| ((i as f64) * 0.37).sin() / ((i % 97) as f64 + 0.5))
+        .collect();
+    let sum = |t: usize| -> u64 {
+        pool(t)
+            .install(|| xs.par_iter().map(|&x| x * 1.000_000_1).sum::<f64>())
+            .to_bits()
+    };
+    let sequential = sum(1);
+    for t in THREAD_COUNTS {
+        assert_eq!(sum(t), sequential, "par sum changed bits at {t} threads");
+    }
+}

@@ -88,21 +88,10 @@ fn rank_one_matrix() {
 
 #[test]
 fn kahan_graded_matrix() {
-    // Kahan's graded upper-triangular matrix: K = diag(1, s, …, sⁿ⁻¹)·U
-    // with U unit-diagonal and -c above the diagonal. A classic stress
-    // test for QR-based SVD because the σ span several magnitudes and the
-    // matrix is far from normal. Truth from the f64 Jacobi oracle.
-    let n = 20;
-    let c = 0.285f64;
-    let s = (1.0 - c * c).sqrt();
-    let a = Matrix::<f64>::from_fn(n, n, |i, j| {
-        let g = s.powi(i as i32);
-        match j.cmp(&i) {
-            std::cmp::Ordering::Less => 0.0,
-            std::cmp::Ordering::Equal => g,
-            std::cmp::Ordering::Greater => -c * g,
-        }
-    });
+    // Kahan's graded matrix (see `testmat::kahan`): σ span several
+    // magnitudes and the matrix is far from normal. Truth from the f64
+    // Jacobi oracle.
+    let a = unisvd::testmat::kahan(20, 0.285);
     let truth = jacobi_svdvals(&a);
     check_all_precisions("kahan", &a, &truth);
 }
