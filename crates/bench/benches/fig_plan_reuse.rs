@@ -1,0 +1,118 @@
+//! `fig_plan_reuse` — plan/execute amortization on the LoRA-fleet
+//! workload: 256 solves of one 64×64 f32 shape on the simulated H100,
+//! planned (one `SvdPlan`, reused) vs unplanned (`svdvals_with` + fresh
+//! device per call).
+//!
+//! Two speedups are reported:
+//! * **simulated** — per-solve device-stream seconds from the trace
+//!   summary: the plan sheds the per-call host driver overhead
+//!   (allocation, validation, JIT-cache checks) that the one-shot path
+//!   pays on every solve. Deterministic; asserted ≥ 1.1×.
+//! * **wall-clock** — host time for the whole batch (the plan skips the
+//!   per-solve staging/device allocations; the solve numerics dominate,
+//!   so this is a smaller effect).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+use unisvd_core::{svdvals_with, Svd, SvdConfig};
+use unisvd_gpu::hw::h100;
+use unisvd_matrix::{testmat, Matrix, SvDistribution};
+
+const BATCH: usize = 256;
+const N: usize = 64;
+
+fn mats() -> Vec<Matrix<f32>> {
+    let mut rng = StdRng::seed_from_u64(0x91A2);
+    (0..BATCH)
+        .map(|_| testmat::test_matrix::<f32, _>(N, SvDistribution::Logarithmic, true, &mut rng).0)
+        .collect()
+}
+
+fn fig_plan_reuse(c: &mut Criterion) {
+    let mats = mats();
+    let cfg = SvdConfig::default();
+    let mut plan = Svd::on(&h100())
+        .precision::<f32>()
+        .config(cfg)
+        .plan(N, N)
+        .expect("H100 supports f32");
+
+    // Correctness gate before any timing: planned values must equal the
+    // one-shot values bit for bit.
+    for a in mats.iter().take(4) {
+        let dev = unisvd_gpu::Device::numeric(h100());
+        let one_shot = svdvals_with(a, &dev, &cfg).unwrap().values;
+        let planned = plan.execute(a).unwrap().values;
+        assert_eq!(
+            planned.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            one_shot.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "plan reuse must not change the values"
+        );
+    }
+
+    // Per-solve wall time of each path, recorded for BENCH_JSON.
+    let mut g = c.benchmark_group("fig_plan_reuse");
+    g.sample_size(10);
+    g.bench_function("planned_solve", |b| b.iter(|| plan.execute(&mats[0])));
+    g.bench_function("unplanned_solve", |b| {
+        b.iter(|| {
+            let dev = unisvd_gpu::Device::numeric(h100());
+            svdvals_with(&mats[0], &dev, &cfg)
+        })
+    });
+    g.finish();
+
+    // Whole-batch table: simulated per-solve seconds (deterministic) and
+    // wall-clock for all 256 solves, planned vs unplanned.
+    let reps = if criterion::quick_mode() { 3 } else { 5 };
+    let time_batch = |f: &mut dyn FnMut() -> f64| -> (f64, f64) {
+        let mut walls: Vec<f64> = Vec::new();
+        let mut sim = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            sim = f();
+            walls.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        walls.sort_by(f64::total_cmp);
+        (walls[walls.len() / 2], sim)
+    };
+
+    let (unplanned_wall, unplanned_sim) = time_batch(&mut || {
+        let mut sim = 0.0;
+        for a in &mats {
+            let dev = unisvd_gpu::Device::numeric(h100());
+            sim += svdvals_with(a, &dev, &cfg).unwrap().summary.total_seconds();
+        }
+        sim
+    });
+    let (planned_wall, planned_sim) = time_batch(&mut || {
+        let mut sim = 0.0;
+        for a in &mats {
+            sim += plan.execute(a).unwrap().summary.total_seconds();
+        }
+        sim
+    });
+
+    let sim_speedup = unplanned_sim / planned_sim;
+    let wall_speedup = unplanned_wall / planned_wall;
+    println!("\nfig_plan_reuse ({BATCH} solves of one {N}x{N} f32 shape, H100):");
+    println!(
+        "  unplanned: {:>8.3} ms simulated/batch   {:>9.3} ms wall/batch",
+        unplanned_sim * 1e3,
+        unplanned_wall
+    );
+    println!(
+        "  planned:   {:>8.3} ms simulated/batch   {:>9.3} ms wall/batch",
+        planned_sim * 1e3,
+        planned_wall
+    );
+    println!("  amortization speedup: {sim_speedup:.2}x simulated, {wall_speedup:.2}x wall-clock");
+    assert!(
+        sim_speedup >= 1.1,
+        "plan reuse must amortize at least 1.1x of the simulated per-solve cost, got {sim_speedup:.3}x"
+    );
+}
+
+criterion_group!(benches, fig_plan_reuse);
+criterion_main!(benches);

@@ -23,13 +23,15 @@ pub mod band2bi;
 pub mod band_diag;
 pub mod bidiag_svd;
 pub mod dqds;
+pub mod plan;
 pub mod svd;
 
 pub use band2bi::band_to_bidiagonal;
 pub use band_diag::{band_diag, extract_band, getsmqrt};
 pub use bidiag_svd::{bdsqr, bisect, NoConvergence};
 pub use dqds::dqds;
+pub use plan::{PlanError, Svd, SvdPlan};
 pub use svd::{
-    resolve_params, svdvals, svdvals_batched, svdvals_cost, svdvals_with, Stage3Solver, SvdConfig,
-    SvdError, SvdOutput,
+    resolve_params, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
+    Stage3Solver, SvdConfig, SvdError, SvdOutput,
 };

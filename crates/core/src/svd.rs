@@ -6,14 +6,12 @@
 //! Pipeline (§3): stage 1 dense→band on the device (`band_diag`), stage 2
 //! band→bidiagonal bulge chasing, stage 3 bidiagonal→values on the CPU.
 
-use crate::band2bi::band_to_bidiagonal;
-use crate::band_diag::{band_diag, extract_band};
-use crate::bidiag_svd::{account_stage3_cost, bdsqr, bisect, NoConvergence};
-use crate::dqds::dqds;
-use unisvd_gpu::{Device, ExecMode, TraceSummary, UnsupportedPrecision};
+use crate::bidiag_svd::NoConvergence;
+use crate::plan::{execute_core, run_pipeline, DriverCost, PlanCore, PlanError, Svd};
+use unisvd_gpu::{Device, ExecMode, HardwareDescriptor, TraceSummary, UnsupportedPrecision};
 use unisvd_kernels::HyperParams;
 use unisvd_matrix::Matrix;
-use unisvd_scalar::{Real, Scalar};
+use unisvd_scalar::Scalar;
 
 /// Stage-3 bidiagonal solver selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -59,6 +57,22 @@ impl Default for SvdConfig {
     }
 }
 
+impl std::fmt::Display for SvdConfig {
+    /// One-line debug summary for bug reports: every knob, including
+    /// whether hyperparameters are auto-tuned or pinned.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.params {
+            Some(p) => write!(f, "params=[{p}]")?,
+            None => write!(f, "params=auto")?,
+        }
+        write!(
+            f,
+            " fused={} solver={:?} rescale={}",
+            self.fused, self.solver, self.rescale
+        )
+    }
+}
+
 /// Everything a singular value computation produces.
 #[derive(Clone, Debug)]
 pub struct SvdOutput {
@@ -74,12 +88,23 @@ pub struct SvdOutput {
 }
 
 /// Errors of the unified API.
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq)]
 pub enum SvdError {
     /// The (device, precision) pair is outside the support matrix.
     Unsupported(UnsupportedPrecision),
     /// Stage 3 failed to converge (pathological input).
     NoConvergence(NoConvergence),
+    /// The input handed to a plan does not match the planned shape.
+    ShapeMismatch {
+        /// Shape the plan was built for.
+        expected: (usize, usize),
+        /// Shape of the offending input.
+        got: (usize, usize),
+    },
+    /// A plan-time rejection surfaced through a batched wrapper (e.g. an
+    /// over-capacity uniform batch).
+    Plan(PlanError),
 }
 
 impl std::fmt::Display for SvdError {
@@ -87,6 +112,12 @@ impl std::fmt::Display for SvdError {
         match self {
             SvdError::Unsupported(u) => write!(f, "{u}"),
             SvdError::NoConvergence(e) => write!(f, "{e}"),
+            SvdError::ShapeMismatch { expected, got } => write!(
+                f,
+                "planned for a {}x{} input but got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            SvdError::Plan(e) => write!(f, "{e}"),
         }
     }
 }
@@ -124,102 +155,22 @@ pub fn svdvals<T: Scalar>(a: &Matrix<T>, dev: &Device) -> Result<Vec<f64>, SvdEr
 }
 
 /// [`svdvals`] with explicit configuration and full output.
+///
+/// One-shot compatibility wrapper over the plan path: builds a fresh
+/// plan core + workspaces per call (exactly the old per-call work —
+/// amortize it with [`Svd`] when solving the same shape repeatedly) and
+/// executes once on the caller's device, accumulating into the caller's
+/// trace as before.
 pub fn svdvals_with<T: Scalar>(
     a: &Matrix<T>,
     dev: &Device,
     cfg: &SvdConfig,
 ) -> Result<SvdOutput, SvdError> {
-    dev.supports(T::KIND)?;
-    let (m, n) = (a.rows(), a.cols());
-    let mindim = m.min(n);
-    if mindim == 0 {
-        return Ok(SvdOutput {
-            values: Vec::new(),
-            params: HyperParams::reference(),
-            padded_n: 0,
-            summary: dev.summary(),
-        });
-    }
-
-    // Rescale so the largest entry is O(1): σ(cA) = c·σ(A), and narrow
-    // storage formats (FP16) overflow otherwise.
-    let scale = if cfg.rescale {
-        let m = a.max_abs();
-        if m > 0.0 && !(0.25..=4.0).contains(&m) {
-            m
-        } else {
-            1.0
-        }
-    } else {
-        1.0
-    };
-
-    // Tall-and-skinny fast path (the paper's §5 future-work item): for
-    // m ≥ 2n, QR-factor first — σ(A) = σ(R) with R only n × n, so the
-    // device pipeline runs on an n × n problem instead of an m × m padded
-    // one. (Host-side preprocessing, like the paper's host stage 3.)
-    if m >= 2 * n && n > 0 && dev.mode() == ExecMode::Numeric {
-        let mut qr = Matrix::<f64>::from_fn(m, n, |i, j| a[(i, j)].to_f64() / scale);
-        let _tau = unisvd_matrix::reference::householder_qr(&mut qr);
-        let r = Matrix::<T>::from_fn(n, n, |i, j| {
-            if i <= j {
-                T::from_f64(qr[(i, j)])
-            } else {
-                T::zero()
-            }
-        });
-        let sub = SvdConfig {
-            rescale: false,
-            ..*cfg
-        };
-        let mut out = svdvals_with(&r, dev, &sub)?;
-        if scale != 1.0 {
-            for v in &mut out.values {
-                *v *= scale;
-            }
-        }
-        return Ok(out);
-    }
-    if n >= 2 * m && m > 0 && dev.mode() == ExecMode::Numeric {
-        // Wide: run the tall path on the transpose (same singular values).
-        let sub = *cfg;
-        return svdvals_with(&a.transposed(), dev, &sub);
-    }
-
-    // Other non-square inputs are zero-padded to square: padding with
-    // zero rows/columns leaves the nonzero singular values unchanged and
-    // only appends zeros, which are truncated below.
-    let square = m.max(n);
-    let p = resolve_params::<T>(dev, cfg, square);
-    let ts = p.tilesize;
-    let padded = square.div_ceil(ts) * ts;
-
-    let host: Vec<T> = {
-        let mut h = vec![T::zero(); padded * padded];
-        for j in 0..n {
-            for i in 0..m {
-                h[j * padded + i] = T::from_f64(a[(i, j)].to_f64() / scale);
-            }
-        }
-        h
-    };
-    let buf = dev.upload(&host);
-    let tau = dev.alloc::<T>(padded);
-
-    run_pipeline::<T>(dev, &buf, &tau, padded, &p, cfg).map(|mut values| {
-        values.truncate(mindim);
-        if scale != 1.0 {
-            for v in &mut values {
-                *v *= scale;
-            }
-        }
-        SvdOutput {
-            values,
-            params: p,
-            padded_n: padded,
-            summary: dev.summary(),
-        }
-    })
+    let core = PlanCore::new::<T>(dev, cfg, a.rows(), a.cols())?;
+    let buf = dev.alloc::<T>(core.padded() * core.padded());
+    let tau = dev.alloc::<T>(core.padded());
+    let mut ws = core.host_workspace::<T>(dev.mode());
+    execute_core(&core, &mut ws, dev, &buf, &tau, a, DriverCost::OneShot)
 }
 
 /// Cost-only solve for paper-scale size sweeps: runs the identical launch
@@ -241,7 +192,7 @@ pub fn svdvals_cost<T: Scalar>(
     let padded = n.div_ceil(ts) * ts;
     let buf = dev.alloc::<T>(0);
     let tau = dev.alloc::<T>(0);
-    run_pipeline::<T>(dev, &buf, &tau, padded, &p, cfg)?;
+    run_pipeline::<T>(dev, &buf, &tau, padded, &p, cfg, DriverCost::OneShot)?;
     Ok(dev.summary())
 }
 
@@ -257,60 +208,62 @@ pub fn svdvals_cost<T: Scalar>(
 /// 1-thread fallback.
 pub fn svdvals_batched<T: Scalar>(
     mats: &[Matrix<T>],
-    hw: &unisvd_gpu::HardwareDescriptor,
+    hw: &HardwareDescriptor,
     cfg: &SvdConfig,
 ) -> Vec<Result<Vec<f64>, SvdError>> {
+    svdvals_batched_with(mats, hw, cfg)
+        .into_iter()
+        .map(|r| r.map(|o| o.values))
+        .collect()
+}
+
+/// [`svdvals_batched`] returning the full [`SvdOutput`] per matrix
+/// (resolved hyperparameters, padded size, per-solve stage summary — the
+/// values-only batched path discards all of these).
+///
+/// Uniform-shape batches run over one [`SvdPlan`](crate::SvdPlan) via
+/// [`execute_batch`](crate::SvdPlan::execute_batch), cloning per-worker
+/// workspaces onto the work-stealing pool; mixed-shape batches fall back
+/// to one device per matrix, unsupported (backend, precision) pairs are
+/// reported per matrix exactly like the pre-plan API, and any other
+/// plan-time rejection (e.g. over-capacity shapes) surfaces as
+/// [`SvdError::Plan`] per matrix instead of attempting hopeless solves.
+/// Either way results are index-ordered and bit-identical for any thread
+/// count.
+pub fn svdvals_batched_with<T: Scalar>(
+    mats: &[Matrix<T>],
+    hw: &HardwareDescriptor,
+    cfg: &SvdConfig,
+) -> Vec<Result<SvdOutput, SvdError>> {
+    if mats.is_empty() {
+        return Vec::new();
+    }
+    let shape = (mats[0].rows(), mats[0].cols());
+    if mats.iter().all(|a| (a.rows(), a.cols()) == shape) {
+        match Svd::on(hw)
+            .precision::<T>()
+            .config(*cfg)
+            .plan(shape.0, shape.1)
+        {
+            Ok(plan) => return plan.execute_batch(mats),
+            // The per-matrix fallback below reproduces this error for
+            // every matrix, matching the pre-plan batched API.
+            Err(PlanError::Unsupported(_)) => {}
+            Err(e) => {
+                return mats
+                    .iter()
+                    .map(|_| Err(SvdError::Plan(e.clone())))
+                    .collect()
+            }
+        }
+    }
     use rayon::prelude::*;
     mats.par_iter()
         .map(|a| {
             let dev = Device::numeric(hw.clone());
-            svdvals_with(a, &dev, cfg).map(|o| o.values)
+            svdvals_with(a, &dev, cfg)
         })
         .collect()
-}
-
-fn run_pipeline<T: Scalar>(
-    dev: &Device,
-    buf: &unisvd_gpu::GlobalBuffer<T>,
-    tau: &unisvd_gpu::GlobalBuffer<T>,
-    padded: usize,
-    p: &HyperParams,
-    cfg: &SvdConfig,
-) -> Result<Vec<f64>, SvdError> {
-    let fused = cfg.fused;
-    // Host runtime overhead per solve (dispatch, allocation, JIT cache
-    // checks in the Julia original) — matters only at small sizes.
-    dev.cpu_work(
-        unisvd_gpu::KernelClass::Other,
-        "driver",
-        0.8e-3 * dev.hw().cpu_flops,
-        1.0,
-    );
-
-    // Stage 1: dense → band (device kernels).
-    band_diag(dev, buf, tau, padded, p, fused);
-
-    // Stage 2: band → bidiagonal (bulge chasing; device-accounted).
-    let mut band = if dev.mode() == ExecMode::Numeric {
-        extract_band::<T>(dev, buf, padded, p.tilesize)
-    } else {
-        unisvd_matrix::BandMatrix::zeros(padded.max(1), 0, 0)
-    };
-    let bi = band_to_bidiagonal(dev, &mut band, p.tilesize, T::KIND, p.tilesize);
-
-    // Stage 3: bidiagonal → singular values (CPU, like the paper's LAPACK
-    // call).
-    account_stage3_cost(dev, padded);
-    if dev.mode() == ExecMode::Numeric {
-        let sv = match cfg.solver {
-            Stage3Solver::Bdsqr => bdsqr(&bi).map_err(SvdError::NoConvergence)?,
-            Stage3Solver::Dqds => dqds(&bi).map_err(SvdError::NoConvergence)?,
-            Stage3Solver::Bisect => bisect(&bi),
-        };
-        Ok(sv.into_iter().map(|x| x.to_f64()).collect())
-    } else {
-        Ok(Vec::new())
-    }
 }
 
 #[cfg(test)]

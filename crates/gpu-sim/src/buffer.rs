@@ -158,6 +158,36 @@ impl<T: Copy + Send + Sync> GlobalBuffer<T> {
     pub fn to_vec(&self) -> Vec<T> {
         (0..self.len()).map(|i| self.read(i)).collect()
     }
+
+    /// Overwrites the whole buffer from a host slice — the reuse path of a
+    /// plan/execute workflow (upload into an existing allocation instead
+    /// of allocating per solve). Runs outside any launch, so the race
+    /// detector's per-launch ownership tags are left untouched (they are
+    /// epoch-scoped and cannot alias a future launch).
+    ///
+    /// # Panics
+    /// If `src.len() != self.len()`.
+    pub fn copy_from_host(&self, src: &[T]) {
+        assert_eq!(
+            src.len(),
+            self.len(),
+            "host upload size must match the device allocation"
+        );
+        for (i, &v) in src.iter().enumerate() {
+            // SAFETY: bounds guaranteed by the length check; host-side
+            // writes never race with launches (the device stream is idle
+            // between launches by construction).
+            unsafe { *self.cells[i].0.get() = v }
+        }
+    }
+
+    /// Resets every element to `v` (workspace reset between solves).
+    pub fn fill(&self, v: T) {
+        for cell in self.cells.iter() {
+            // SAFETY: see `copy_from_host`.
+            unsafe { *cell.0.get() = v }
+        }
+    }
 }
 
 impl<T: Copy + Send + Sync + std::fmt::Debug> std::fmt::Debug for GlobalBuffer<T> {
@@ -193,6 +223,22 @@ mod tests {
         let b = GlobalBuffer::filled(len, 0.5f32);
         assert_eq!(b.len(), len);
         assert!((0..len).all(|i| b.read(i) == 0.5));
+    }
+
+    #[test]
+    fn copy_from_host_and_fill_reuse_allocation() {
+        let b = GlobalBuffer::from_vec(vec![1.0f64, 2.0, 3.0]);
+        b.copy_from_host(&[7.0, 8.0, 9.0]);
+        assert_eq!(b.to_vec(), vec![7.0, 8.0, 9.0]);
+        b.fill(0.5);
+        assert_eq!(b.to_vec(), vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "host upload size")]
+    fn copy_from_host_checks_length() {
+        let b = GlobalBuffer::from_vec(vec![0.0f32; 4]);
+        b.copy_from_host(&[1.0f32; 3]);
     }
 
     #[test]

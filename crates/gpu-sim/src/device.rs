@@ -209,6 +209,19 @@ impl Device {
         }
     }
 
+    /// Re-uploads host data into an existing device buffer (numeric mode)
+    /// — the amortized path of a reusable plan/execute workflow: no
+    /// allocation, the previous contents are overwritten in place. In
+    /// trace-only mode this is a no-op (there is no data).
+    ///
+    /// # Panics
+    /// In numeric mode, if `host.len() != buf.len()`.
+    pub fn upload_into<T: Scalar>(&self, host: &[T], buf: &GlobalBuffer<T>) {
+        if self.mode == ExecMode::Numeric {
+            buf.copy_from_host(host);
+        }
+    }
+
     /// Allocates a zero-filled device buffer of `len` elements (numeric
     /// mode) or a placeholder (trace mode).
     pub fn alloc<T: Scalar>(&self, len: usize) -> GlobalBuffer<T> {
@@ -302,6 +315,18 @@ mod tests {
         assert!(s.total_seconds() > 0.0);
         dev.reset();
         assert_eq!(dev.summary().total_launches(), 0);
+    }
+
+    #[test]
+    fn upload_into_reuses_buffer_in_numeric_and_noops_in_trace() {
+        let dev = Device::numeric(h100());
+        let buf = dev.alloc::<f32>(4);
+        dev.upload_into(&[1.0f32, 2.0, 3.0, 4.0], &buf);
+        assert_eq!(buf.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let tdev = Device::trace_only(h100());
+        let tbuf = tdev.alloc::<f32>(4);
+        assert!(tbuf.is_empty());
+        tdev.upload_into(&[1.0f32; 16], &tbuf); // no data, no panic
     }
 
     #[test]

@@ -103,6 +103,18 @@ impl Default for HyperParams {
     }
 }
 
+impl std::fmt::Display for HyperParams {
+    /// Paper vocabulary, one token per hyperparameter — the form used in
+    /// config summaries attached to bug reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TILESIZE={} COLPERBLOCK={} SPLITK={}",
+            self.tilesize, self.colperblock, self.splitk
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +142,14 @@ mod tests {
         assert!(
             HyperParams::tuned(BackendKind::Rocm, PrecisionKind::Fp64).tilesize
                 < HyperParams::tuned(BackendKind::Rocm, PrecisionKind::Fp32).tilesize
+        );
+    }
+
+    #[test]
+    fn display_uses_paper_vocabulary() {
+        assert_eq!(
+            HyperParams::reference().to_string(),
+            "TILESIZE=32 COLPERBLOCK=32 SPLITK=8"
         );
     }
 

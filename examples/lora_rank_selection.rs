@@ -13,7 +13,7 @@
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
-use unisvd::{hw, svdvals, Device, Matrix, F16};
+use unisvd::{hw, svdvals, testmat, Device, Matrix, Svd, F16};
 
 /// Minimal rank whose leading singular values capture `fraction` of the
 /// total squared energy.
@@ -81,4 +81,34 @@ fn main() {
         );
     }
     println!("FP16 rank decisions match FP64 within ±2 — half precision suffices here.");
+
+    // A *fleet* of adapters — the workload that motivates the plan API:
+    // every layer of a fine-tuned model contributes one same-shaped ΔW.
+    // Plan once (support check, hyperparameter resolution, workspace
+    // allocation), then execute the whole fleet with per-solve overhead
+    // amortized away.
+    let layers = 12;
+    let adapter_n = 96;
+    let fleet: Vec<Matrix<F16>> = (0..layers)
+        .map(|l| {
+            let decay = 8.0 + l as f64;
+            let svs: Vec<f64> = (0..adapter_n)
+                .map(|i| ((-(i as f64) / decay).exp().powi(2) + 1e-6).sqrt())
+                .collect();
+            testmat::with_singular_values_fast(&svs, 32, &mut rng).cast()
+        })
+        .collect();
+    let plan = Svd::on(&hw::h100())
+        .precision::<F16>()
+        .plan(adapter_n, adapter_n)
+        .expect("H100 supports FP16");
+    println!("\nadapter fleet: {layers} layers of {adapter_n}x{adapter_n} ΔW via one SvdPlan");
+    for (l, out) in plan.execute_batch(&fleet).into_iter().enumerate() {
+        let out = out.expect("fleet solve failed");
+        let r95 = rank_for_energy(&out.values, 0.95);
+        println!(
+            "  layer {l:>2}: r(95%) = {r95:<3} σ₁ = {:.4}",
+            out.values[0]
+        );
+    }
 }

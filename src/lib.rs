@@ -10,6 +10,10 @@
 //!   generic over storage precision ([`F16`], `f32`, `f64`) and hardware
 //!   backend (simulated devices for the six platforms of the paper's
 //!   Table 2).
+//! * [`Svd`] / [`SvdPlan`] — the plan/execute API: validate, resolve
+//!   hyperparameters, and allocate workspaces once, then solve the same
+//!   shape many times with no per-solve overhead (the LoRA-fleet
+//!   pattern).
 //! * [`Device`] / [`hw`] — the bulk-synchronous GPU simulator and the
 //!   hardware descriptors.
 //! * [`Matrix`] and test-matrix generators.
@@ -29,8 +33,9 @@ pub use unisvd_baselines::{
     gebrd, jacobi_svd, jacobi_svdvals, onestage_svdvals, Library, SvdFactors,
 };
 pub use unisvd_core::{
-    band_to_bidiagonal, bdsqr, bisect, dqds, svdvals, svdvals_batched, svdvals_cost, svdvals_with,
-    Stage3Solver, SvdConfig, SvdError, SvdOutput,
+    band_to_bidiagonal, bdsqr, bisect, dqds, svdvals, svdvals_batched, svdvals_batched_with,
+    svdvals_cost, svdvals_with, PlanError, Stage3Solver, Svd, SvdConfig, SvdError, SvdOutput,
+    SvdPlan,
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
