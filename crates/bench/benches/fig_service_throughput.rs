@@ -1,0 +1,160 @@
+//! `fig_service_throughput` — serving-layer amortization on a
+//! mixed-shape workload: 96 requests cycling through three f32 shapes
+//! (32², 48², 64²) on the simulated H100, served **cold** (caching
+//! disabled: every request plans from scratch, the one-shot driver cost)
+//! vs **warm** (default sharded cache, prewarmed: every request reuses a
+//! resident plan).
+//!
+//! Reported per path:
+//! * **simulated** — summed device-stream seconds per solve from the
+//!   trace summaries. Deterministic; the warm path must improve per-solve
+//!   cost by ≥ 1.5× (asserted) — the cache sheds the planning/driver
+//!   share of every request.
+//! * **wall-clock** — host time for the whole pass (the warm path also
+//!   skips per-request staging/device allocation).
+//!
+//! Values are verified bit-identical across the cold path, the warm
+//! path, and directly driven plans before any timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+use unisvd_core::{Svd, SvdConfig};
+use unisvd_gpu::hw::h100;
+use unisvd_matrix::{testmat, Matrix, SvDistribution};
+use unisvd_service::{ServiceConfig, SvdService};
+
+const SHAPES: [usize; 3] = [32, 48, 64];
+const REQUESTS: usize = 96;
+
+fn workload() -> Vec<Matrix<f32>> {
+    let mut rng = StdRng::seed_from_u64(0x5E21);
+    (0..REQUESTS)
+        .map(|i| {
+            testmat::test_matrix::<f32, _>(
+                SHAPES[i % SHAPES.len()],
+                SvDistribution::Logarithmic,
+                true,
+                &mut rng,
+            )
+            .0
+        })
+        .collect()
+}
+
+fn cold_service() -> SvdService {
+    SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            plans_per_shard: 0, // caching disabled: every request is cold
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn warm_service(mats: &[Matrix<f32>], cfg: &SvdConfig) -> SvdService {
+    let service = SvdService::new(&h100());
+    for a in mats.iter().take(SHAPES.len()) {
+        service.solve(a, cfg).expect("prewarm solve");
+    }
+    service
+}
+
+fn fig_service_throughput(c: &mut Criterion) {
+    let mats = workload();
+    let cfg = SvdConfig::default();
+    let cold = cold_service();
+    let warm = warm_service(&mats, &cfg);
+
+    // Correctness gate: cold path == warm path == direct plan, bit for
+    // bit, on one representative of each shape.
+    for a in mats.iter().take(SHAPES.len()) {
+        let mut plan = Svd::on(&h100())
+            .precision::<f32>()
+            .config(cfg)
+            .plan(a.rows(), a.cols())
+            .unwrap();
+        let direct: Vec<u64> = plan
+            .execute(a)
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for service in [&cold, &warm] {
+            let served: Vec<u64> = service
+                .solve(a, &cfg)
+                .unwrap()
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(served, direct, "serving must not change the values");
+        }
+    }
+
+    // Per-request wall time of each path, recorded for BENCH_JSON.
+    let mut g = c.benchmark_group("fig_service_throughput");
+    g.sample_size(10);
+    g.bench_function("warm_solve", |b| b.iter(|| warm.solve(&mats[0], &cfg)));
+    g.bench_function("cold_solve", |b| b.iter(|| cold.solve(&mats[0], &cfg)));
+    g.finish();
+
+    // Whole-pass table: simulated seconds per solve (deterministic) and
+    // wall-clock per pass over all 96 requests.
+    let reps = if criterion::quick_mode() { 3 } else { 5 };
+    let pass = |service: &SvdService| -> (f64, f64) {
+        let mut walls: Vec<f64> = Vec::new();
+        let mut sim = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            sim = mats
+                .iter()
+                .map(|a| service.solve(a, &cfg).unwrap().summary.total_seconds())
+                .sum();
+            walls.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        walls.sort_by(f64::total_cmp);
+        (walls[walls.len() / 2], sim)
+    };
+
+    let (cold_wall, cold_sim) = pass(&cold);
+    let (warm_wall, warm_sim) = pass(&warm);
+
+    let sim_speedup = cold_sim / warm_sim;
+    let wall_speedup = cold_wall / warm_wall;
+    let stats = warm.stats();
+    println!("\nfig_service_throughput ({REQUESTS} mixed-shape f32 requests {SHAPES:?}, H100):");
+    println!(
+        "  cold (no cache):  {:>8.3} ms simulated/pass   {:>9.3} ms wall/pass",
+        cold_sim * 1e3,
+        cold_wall
+    );
+    println!(
+        "  warm (cached):    {:>8.3} ms simulated/pass   {:>9.3} ms wall/pass",
+        warm_sim * 1e3,
+        warm_wall
+    );
+    println!("  per-solve improvement: {sim_speedup:.2}x simulated, {wall_speedup:.2}x wall-clock");
+    println!("  warm cache: {stats}");
+    assert_eq!(
+        stats.misses as usize,
+        SHAPES.len(),
+        "warm path must not re-plan"
+    );
+    assert!(
+        sim_speedup >= 1.5,
+        "warm cache must improve simulated per-solve cost by at least 1.5x, got {sim_speedup:.3}x"
+    );
+
+    // Coalesced batch serving: same workload through solve_batch, which
+    // groups the 96 requests into 3 execute_batch fan-outs on the pool.
+    let t0 = Instant::now();
+    let batched = warm.solve_batch(&mats, &cfg);
+    let batch_wall = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(batched.iter().all(|r| r.is_ok()));
+    println!("  coalesced solve_batch: {batch_wall:>9.3} ms wall/pass (3 plan checkouts)");
+}
+
+criterion_group!(benches, fig_service_throughput);
+criterion_main!(benches);

@@ -19,6 +19,8 @@
 //! 2. [`band_to_bidiagonal`] — band → bidiagonal Givens bulge chasing.
 //! 3. [`bdsqr`] / [`bisect`] — bidiagonal → singular values on the CPU.
 
+#![deny(missing_docs)]
+
 pub mod band2bi;
 pub mod band_diag;
 pub mod bidiag_svd;
@@ -30,7 +32,7 @@ pub use band2bi::band_to_bidiagonal;
 pub use band_diag::{band_diag, extract_band, getsmqrt};
 pub use bidiag_svd::{bdsqr, bisect, NoConvergence};
 pub use dqds::dqds;
-pub use plan::{PlanError, Svd, SvdPlan};
+pub use plan::{PlanError, PlanSignature, Svd, SvdPlan};
 pub use svd::{
     resolve_params, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
     Stage3Solver, SvdConfig, SvdError, SvdOutput,

@@ -38,12 +38,12 @@ use crate::dqds::dqds;
 use crate::svd::{resolve_params, Stage3Solver, SvdConfig, SvdError, SvdOutput};
 use std::marker::PhantomData;
 use unisvd_gpu::{
-    Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, TraceSummary,
+    BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, TraceSummary,
     UnsupportedPrecision,
 };
 use unisvd_kernels::HyperParams;
 use unisvd_matrix::Matrix;
-use unisvd_scalar::{Real, Scalar};
+use unisvd_scalar::{PrecisionKind, Real, Scalar};
 
 /// Errors detected while *planning* a computation — before any solve
 /// runs. These used to surface as failures deep inside a solve (or not
@@ -88,6 +88,47 @@ impl std::error::Error for PlanError {}
 impl From<UnsupportedPrecision> for PlanError {
     fn from(u: UnsupportedPrecision) -> Self {
         PlanError::Unsupported(u)
+    }
+}
+
+/// The hashable identity of a plan: every input that determines the
+/// launch stream and the bits of the produced values. Two requests with
+/// equal signatures are served correctly by one shared [`SvdPlan`] —
+/// this is the cache key of serving layers (`unisvd_service`).
+///
+/// Obtained from the builder ([`Svd::signature`]) before paying for
+/// planning, or from an existing plan ([`SvdPlan::signature`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanSignature {
+    /// Device name (unique across the `hw` descriptor set).
+    pub device: &'static str,
+    /// Vendor backend of the device (part of hyperparameter selection).
+    pub backend: BackendKind,
+    /// Storage precision of the planned solves.
+    pub precision: PrecisionKind,
+    /// Input rows the plan accepts.
+    pub rows: usize,
+    /// Input columns the plan accepts.
+    pub cols: usize,
+    /// The full solve configuration (solver, fusion, rescaling, and any
+    /// explicit hyperparameter override).
+    pub config: SvdConfig,
+    /// Whether the plan is trace-only (cost accounting without data).
+    pub trace_only: bool,
+}
+
+impl std::fmt::Display for PlanSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} {} on {}{} [{}]",
+            self.rows,
+            self.cols,
+            self.precision,
+            self.device,
+            if self.trace_only { " (trace)" } else { "" },
+            self.config
+        )
     }
 }
 
@@ -305,6 +346,21 @@ impl<T: Scalar> Svd<T> {
         self
     }
 
+    /// The signature a plan built from this builder for `rows × cols`
+    /// inputs would carry — computable without paying for planning, so
+    /// caches can key their lookup before deciding to build.
+    pub fn signature(&self, rows: usize, cols: usize) -> PlanSignature {
+        PlanSignature {
+            device: self.hw.name,
+            backend: self.hw.backend,
+            precision: T::KIND,
+            rows,
+            cols,
+            config: self.cfg,
+            trace_only: self.mode == ExecMode::TraceOnly,
+        }
+    }
+
     /// Performs all one-time work — support-matrix check, hyperparameter
     /// resolution, tile padding, capacity check, workspace allocation —
     /// and returns the reusable plan for `rows × cols` inputs.
@@ -312,7 +368,11 @@ impl<T: Scalar> Svd<T> {
         let dev = Device::new(self.hw.clone(), self.mode);
         let core = PlanCore::new::<T>(&dev, &self.cfg, rows, cols)?;
         if self.mode == ExecMode::Numeric && core.padded > 0 {
-            let bytes = (core.padded as u64).pow(2) * T::KIND.bytes() as u64;
+            // Everything the plan will hold on the device: the padded
+            // matrix plus the τ-factor vector. Matching device_bytes()
+            // exactly means a plan that passes this check can always be
+            // admitted by an empty budget_bytes()-sized cache ledger.
+            let bytes = ((core.padded as u64).pow(2) + core.padded as u64) * T::KIND.bytes() as u64;
             if !dev.hw().fits(bytes) {
                 return Err(PlanError::ExceedsDeviceMemory {
                     device: dev.hw().name,
@@ -378,6 +438,29 @@ impl<T: Scalar> SvdPlan<T> {
         &self.dev
     }
 
+    /// The cache key this plan is correctly shared under (see
+    /// [`PlanSignature`]).
+    pub fn signature(&self) -> PlanSignature {
+        PlanSignature {
+            device: self.dev.hw().name,
+            backend: self.dev.hw().backend,
+            precision: T::KIND,
+            rows: self.core.rows,
+            cols: self.core.cols,
+            config: self.core.cfg,
+            trace_only: self.dev.mode() == ExecMode::TraceOnly,
+        }
+    }
+
+    /// Device memory this plan's buffers pin while it is alive, in bytes
+    /// (0 for trace-only plans, which allocate no data). Serving layers
+    /// charge this against a [`MemoryLedger`](unisvd_gpu::MemoryLedger)
+    /// so a cache full of plans respects the same device-capacity rule
+    /// that [`PlanError::ExceedsDeviceMemory`] enforces per plan.
+    pub fn device_bytes(&self) -> u64 {
+        ((self.buf.len() + self.tau.len()) as u64) * T::KIND.bytes() as u64
+    }
+
     /// Runs one solve. The returned summary covers exactly this solve
     /// (the plan's trace is reset on entry).
     ///
@@ -413,6 +496,29 @@ impl<T: Scalar> SvdPlan<T> {
         )
     }
 
+    /// Runs one solve accounting the **full one-shot host driver
+    /// overhead** instead of the amortized dispatch share — the
+    /// first-use path of a serving layer, where validation and workspace
+    /// allocation genuinely happened on this request (a cache miss just
+    /// paid for planning). The produced *values* are bit-identical to
+    /// [`execute`](SvdPlan::execute); only the summary's host-overhead
+    /// attribution differs.
+    ///
+    /// # Errors
+    /// Exactly as [`execute`](SvdPlan::execute).
+    pub fn execute_cold(&mut self, a: &Matrix<T>) -> Result<SvdOutput, SvdError> {
+        self.dev.reset();
+        execute_core(
+            &self.core,
+            &mut self.ws,
+            &self.dev,
+            &self.buf,
+            &self.tau,
+            a,
+            DriverCost::OneShot,
+        )
+    }
+
     /// Solves many same-shaped problems on the host work-stealing pool.
     ///
     /// The batch is split into contiguous chunks whose count and bounds
@@ -438,6 +544,16 @@ impl<T: Scalar> SvdPlan<T> {
     /// # Ok::<(), unisvd_core::PlanError>(())
     /// ```
     pub fn execute_batch(&self, mats: &[Matrix<T>]) -> Vec<Result<SvdOutput, SvdError>> {
+        let refs: Vec<&Matrix<T>> = mats.iter().collect();
+        self.execute_batch_refs(&refs)
+    }
+
+    /// [`execute_batch`](SvdPlan::execute_batch) over borrowed matrices
+    /// that need not be contiguous in memory — the request-coalescing
+    /// path of serving layers, which gather same-signature requests
+    /// scattered through a queue without copying matrix data. Identical
+    /// chunking, ordering, and bit-for-bit determinism guarantees.
+    pub fn execute_batch_refs(&self, mats: &[&Matrix<T>]) -> Vec<Result<SvdOutput, SvdError>> {
         use rayon::prelude::*;
         let len = mats.len();
         if len == 0 {
@@ -445,11 +561,26 @@ impl<T: Scalar> SvdPlan<T> {
         }
         // At most 64 contiguous chunks, remainder spread over the leading
         // chunks: enough splits for any realistic worker count while
-        // workspace clones stay amortized across a chunk's solves. Count
-        // and bounds depend only on `len` — never the thread count — and
-        // results are collected in chunk order, so output order and bits
-        // are schedule-independent.
-        let nc = len.min(64);
+        // workspace clones stay amortized across a chunk's solves. Each
+        // chunk's worker clones the plan's device buffers, so the chunk
+        // count is additionally capped so the parent plan plus all
+        // concurrent workers together respect the device-memory budget
+        // that planning enforced for one plan (at minimum one worker
+        // runs, tolerating a 2x overshoot for plans that alone fill the
+        // budget). Count and bounds depend only on `len` and fixed plan
+        // properties — never the thread count — and results are collected
+        // in chunk order, so output order and bits are schedule-
+        // independent.
+        let mem_cap = match self
+            .dev
+            .hw()
+            .budget_bytes()
+            .checked_div(self.device_bytes())
+        {
+            Some(slots) => slots.saturating_sub(1).max(1).min(usize::MAX as u64) as usize,
+            None => usize::MAX, // trace-only: workers hold no data
+        };
+        let nc = len.min(64).min(mem_cap);
         let bounds: Vec<(usize, usize)> = (0..nc)
             .map(|c| {
                 let (base, rem) = (len / nc, len % nc);
@@ -461,7 +592,10 @@ impl<T: Scalar> SvdPlan<T> {
             .par_iter()
             .map(|&(start, end)| {
                 let mut worker = self.worker();
-                mats[start..end].iter().map(|a| worker.execute(a)).collect()
+                mats[start..end]
+                    .iter()
+                    .map(|&a| worker.execute(a))
+                    .collect()
             })
             .collect();
         per_chunk.into_iter().flatten().collect()
@@ -499,6 +633,18 @@ impl<T: Scalar> SvdPlan<T> {
         dev.summary()
     }
 }
+
+// Plans move between threads in serving layers: checked out of a shared
+// cache, executed on a worker, returned. The auto-impls make that sound
+// today (the device trace is mutexed, buffers are owned); this pins the
+// property so a future field cannot silently regress it.
+const _: () = {
+    const fn assert_send_sync<P: Send + Sync>() {}
+    assert_send_sync::<SvdPlan<f64>>();
+    assert_send_sync::<SvdPlan<f32>>();
+    assert_send_sync::<SvdPlan<unisvd_scalar::F16>>();
+    assert_send_sync::<PlanSignature>();
+};
 
 impl<T: Scalar> std::fmt::Debug for SvdPlan<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -14,7 +14,7 @@ use unisvd_matrix::Matrix;
 use unisvd_scalar::Scalar;
 
 /// Stage-3 bidiagonal solver selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Stage3Solver {
     /// Implicit QR with Wilkinson shift + Demmel–Kahan zero-shift sweeps
     /// (LAPACK `xBDSQR` strategy) — the default, as in the paper.
@@ -29,7 +29,11 @@ pub enum Stage3Solver {
 }
 
 /// Configuration of a singular value computation.
-#[derive(Clone, Copy, Debug)]
+///
+/// `Eq`/`Hash` compare every knob exactly, so a configuration can serve
+/// as (part of) a cache key — see
+/// [`PlanSignature`](crate::PlanSignature).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SvdConfig {
     /// Kernel hyperparameters; `None` selects the brute-force-tuned
     /// defaults for the device's backend and the input precision (§3.3).
@@ -127,6 +131,19 @@ impl std::error::Error for SvdError {}
 impl From<UnsupportedPrecision> for SvdError {
     fn from(u: UnsupportedPrecision) -> Self {
         SvdError::Unsupported(u)
+    }
+}
+
+impl From<PlanError> for SvdError {
+    /// Folds plan-time failures into the solve-error type the way the
+    /// one-shot wrappers always reported them: support-matrix rejections
+    /// keep their dedicated variant, everything else (capacity, future
+    /// plan-time checks) surfaces as [`SvdError::Plan`].
+    fn from(e: PlanError) -> Self {
+        match e {
+            PlanError::Unsupported(u) => SvdError::Unsupported(u),
+            other => SvdError::Plan(other),
+        }
     }
 }
 

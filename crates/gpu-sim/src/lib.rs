@@ -23,6 +23,7 @@ pub mod buffer;
 pub mod cost;
 pub mod device;
 pub mod hw;
+pub mod mem;
 pub mod trace;
 pub mod workgroup;
 
@@ -30,5 +31,6 @@ pub use buffer::GlobalBuffer;
 pub use cost::{cost_of_launch, ExecGeometry, KernelClass, LaunchCost, LaunchSpec};
 pub use device::{Device, ExecMode};
 pub use hw::{BackendKind, Fp16Mode, HardwareDescriptor, UnsupportedPrecision};
+pub use mem::MemoryLedger;
 pub use trace::{ClassTotals, LaunchRecord, Trace, TraceSummary};
 pub use workgroup::{ThreadCtx, Workgroup};

@@ -1,0 +1,146 @@
+//! Device-memory accounting across many allocations.
+//!
+//! A single plan's working set is capacity-checked at plan time (the
+//! `ExceedsDeviceMemory` rejection). A serving layer, though, keeps
+//! *many* plans alive at once — a cache of resident device buffers —
+//! and the sum must respect the same rule. [`MemoryLedger`] is that
+//! shared counter: a lock-free reserve/release gauge against a fixed
+//! byte budget, safe to consult from any thread.
+
+use crate::hw::HardwareDescriptor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl HardwareDescriptor {
+    /// Largest working set, in bytes, that [`fits`](Self::fits) accepts:
+    /// device memory net of the 25% workspace headroom. This is the byte
+    /// budget a plan cache must keep its resident total under so that
+    /// every cached plan preserves the `ExceedsDeviceMemory` guarantee.
+    pub fn budget_bytes(&self) -> u64 {
+        (self.memory_bytes as f64 / 1.3).floor() as u64
+    }
+}
+
+/// A concurrent reserve/release byte gauge with a hard budget.
+///
+/// Reservations are atomic (compare-and-swap, no lock) and never
+/// overshoot: [`try_reserve`](Self::try_reserve) either charges the full
+/// amount within budget or charges nothing.
+#[derive(Debug)]
+pub struct MemoryLedger {
+    budget: u64,
+    used: AtomicU64,
+}
+
+impl MemoryLedger {
+    /// A ledger with an explicit byte budget.
+    pub fn new(budget: u64) -> Self {
+        MemoryLedger {
+            budget,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// A ledger with the device's full budget
+    /// ([`HardwareDescriptor::budget_bytes`]).
+    pub fn for_device(hw: &HardwareDescriptor) -> Self {
+        Self::new(hw.budget_bytes())
+    }
+
+    /// The fixed budget, bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.budget.saturating_sub(self.used())
+    }
+
+    /// Attempts to reserve `bytes`; on `false` nothing was charged.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = match cur.checked_add(bytes) {
+                Some(next) if next <= self.budget => next,
+                _ => return false,
+            };
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Returns a prior reservation of `bytes`. Releasing more than is
+    /// reserved clamps to zero (a caller accounting bug, but one that
+    /// must not wrap the gauge into nonsense).
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::h100;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let ledger = MemoryLedger::new(100);
+        assert!(ledger.try_reserve(60));
+        assert!(!ledger.try_reserve(50), "would exceed the budget");
+        assert_eq!(ledger.used(), 60, "failed reserve must charge nothing");
+        assert!(ledger.try_reserve(40));
+        assert_eq!(ledger.available(), 0);
+        ledger.release(100);
+        assert_eq!(ledger.used(), 0);
+        ledger.release(1); // over-release clamps instead of wrapping
+        assert_eq!(ledger.used(), 0);
+    }
+
+    #[test]
+    fn device_budget_matches_fits_rule() {
+        let hw = h100();
+        let budget = hw.budget_bytes();
+        assert!(hw.fits(budget), "the budget itself must fit");
+        // The budget is maximal up to rounding: 1% more must not fit.
+        assert!(!hw.fits(budget + budget / 100));
+        let ledger = MemoryLedger::for_device(&hw);
+        assert_eq!(ledger.budget(), budget);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overshoot() {
+        let ledger = MemoryLedger::new(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if ledger.try_reserve(7) {
+                            ledger.release(7);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.used(), 0);
+    }
+}

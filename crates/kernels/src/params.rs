@@ -12,7 +12,7 @@ use unisvd_gpu::BackendKind;
 use unisvd_scalar::PrecisionKind;
 
 /// Hyperparameter set for the stage-1 kernels.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HyperParams {
     /// Tile edge (threads per panel workgroup; band bandwidth).
     pub tilesize: usize,

@@ -1,0 +1,247 @@
+//! The sharded plan cache: N independently locked LRU shards plus a
+//! device-memory ledger and hit/miss/eviction counters.
+//!
+//! Concurrency protocol — **checkout/return**, not lock-while-solving:
+//! a lookup removes the plan from its shard (the caller owns it for the
+//! duration of the solve, no lock held), and returning it re-inserts
+//! under the shard lock. Two consequences:
+//!
+//! * the shard locks are held only for map operations (microseconds),
+//!   never across a solve, so unrelated signatures on the same shard do
+//!   not serialise behind a long execute;
+//! * concurrent callers of one *hot* signature race benignly: the loser
+//!   of the checkout builds (or finds) its own plan, and whichever plan
+//!   returns second is discarded (`discards` counter) because the slot
+//!   is occupied again. Results are unaffected — plan reuse is
+//!   bit-identical to fresh planning by the core's guarantee.
+//!
+//! Capacity is bounded twice: per shard by entry count, and globally by
+//! the [`MemoryLedger`], which enforces the same device-memory headroom
+//! rule that makes a single oversized plan fail with
+//! `PlanError::ExceedsDeviceMemory` at plan time. A resident cache can
+//! therefore never pin more device memory than the device has.
+
+use crate::lru::LruMap;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use unisvd_core::PlanSignature;
+use unisvd_gpu::MemoryLedger;
+
+/// A type-erased resident plan. The signature stored next to it encodes
+/// the precision, so the downcast back to `SvdPlan<T>` in the service
+/// layer is infallible by construction.
+pub(crate) struct CachedPlan {
+    /// The boxed `SvdPlan<T>` (erased so one cache holds all precisions).
+    pub plan: Box<dyn Any + Send>,
+    /// Device bytes the plan's buffers pin while resident.
+    pub bytes: u64,
+}
+
+/// Monotonic event counters, readable without any shard lock.
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    discards: AtomicU64,
+}
+
+/// One shard: its LRU store plus the device bytes it currently pins
+/// (so `publish` can tell whether evicting from *this* shard can ever
+/// free enough budget, without touching other shards' locks).
+struct Shard {
+    lru: LruMap<PlanSignature, CachedPlan>,
+    bytes: u64,
+}
+
+pub(crate) struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    ledger: MemoryLedger,
+    counters: Counters,
+}
+
+impl PlanCache {
+    /// A cache of `shards` shards, each bounded to `plans_per_shard`
+    /// entries, with resident device bytes bounded by `ledger`.
+    pub fn new(shards: usize, plans_per_shard: usize, ledger: MemoryLedger) -> Self {
+        assert!(shards >= 1, "plan cache needs at least one shard");
+        PlanCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        lru: LruMap::new(plans_per_shard),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            ledger,
+            counters: Counters::default(),
+        }
+    }
+
+    fn shard_of(&self, sig: &PlanSignature) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        sig.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Removes and returns the resident plan for `sig`, if any. The
+    /// caller owns it until [`publish`](Self::publish); its device bytes
+    /// are released from the ledger (it no longer counts as resident).
+    pub fn checkout(&self, sig: &PlanSignature) -> Option<CachedPlan> {
+        let found = {
+            let mut shard = self.shard_of(sig).lock();
+            let found = shard.lru.remove(sig);
+            if let Some(cached) = &found {
+                shard.bytes -= cached.bytes;
+            }
+            found
+        };
+        match &found {
+            Some(cached) => {
+                self.ledger.release(cached.bytes);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        found
+    }
+
+    /// Returns a plan to the cache (both the cache-hit return path and
+    /// the cache-miss populate path). Evicts least-recently-used entries
+    /// from the target shard until both the entry bound and the memory
+    /// budget admit the plan. The incoming plan is dropped instead
+    /// (`discards`) when the slot was re-populated by a concurrent
+    /// caller, when caching is disabled, or when evicting this whole
+    /// shard still could not free enough budget (the memory is pinned
+    /// by *other* shards — flushing this one would only destroy useful
+    /// plans without admitting the new one).
+    pub fn publish(&self, sig: PlanSignature, plan: CachedPlan) {
+        let shard_mutex = self.shard_of(&sig);
+        let mut shard = shard_mutex.lock();
+        if shard.lru.contains(&sig) {
+            // A concurrent caller of the same signature returned first;
+            // keeping both would double-pin device memory for no reuse
+            // benefit.
+            self.counters.discards.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Eviction from this shard can free at most `shard.bytes`; if
+        // even that plus the currently free budget cannot admit the
+        // plan, bail before destroying anything. (Other shards may
+        // release concurrently, making this conservative — a later
+        // publish of the same signature gets another chance.)
+        if self.ledger.available() + shard.bytes < plan.bytes {
+            self.counters.discards.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        loop {
+            if !shard.lru.is_full() && self.ledger.try_reserve(plan.bytes) {
+                shard.bytes += plan.bytes;
+                shard.lru.insert(sig, plan);
+                return;
+            }
+            match shard.lru.pop_lru() {
+                Some((_, evicted)) => {
+                    shard.bytes -= evicted.bytes;
+                    self.ledger.release(evicted.bytes);
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    // Caching disabled (capacity 0), or a concurrent
+                    // reservation raced away the budget this shard's
+                    // eviction freed.
+                    self.counters.discards.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// (hits, misses, evictions, discards) since construction.
+    pub fn counter_values(&self) -> (u64, u64, u64, u64) {
+        (
+            self.counters.hits.load(Ordering::Relaxed),
+            self.counters.misses.load(Ordering::Relaxed),
+            self.counters.evictions.load(Ordering::Relaxed),
+            self.counters.discards.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resident entry count (locks each shard briefly) and resident
+    /// device bytes (from the ledger).
+    pub fn resident(&self) -> (usize, u64) {
+        let plans = self.shards.iter().map(|s| s.lock().lru.len()).sum();
+        (plans, self.ledger.used())
+    }
+
+    /// The device-memory budget the ledger enforces, in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.ledger.budget()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisvd_core::SvdConfig;
+    use unisvd_gpu::BackendKind;
+    use unisvd_scalar::PrecisionKind;
+
+    fn sig(rows: usize) -> PlanSignature {
+        PlanSignature {
+            device: "test",
+            backend: BackendKind::Cuda,
+            precision: PrecisionKind::Fp32,
+            rows,
+            cols: rows,
+            config: SvdConfig::default(),
+            trace_only: false,
+        }
+    }
+
+    fn plan(bytes: u64) -> CachedPlan {
+        CachedPlan {
+            plan: Box::new(()),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn budget_pinned_by_other_shards_discards_without_flushing() {
+        // Two 100-byte plans resident on *different* shards, budget 200.
+        // Publishing a 150-byte plan can free at most 100 by evicting its
+        // own shard — not enough — so it must be discarded while BOTH
+        // residents survive (no pointless shard flush).
+        let cache = PlanCache::new(4, 4, MemoryLedger::new(200));
+        let sigs: Vec<PlanSignature> = (1..200).map(sig).collect();
+        let a = sigs[0];
+        let b = *sigs
+            .iter()
+            .find(|s| !std::ptr::eq(cache.shard_of(s), cache.shard_of(&a)))
+            .expect("some signature lands on another shard");
+        cache.publish(a, plan(100));
+        cache.publish(b, plan(100));
+        assert_eq!(cache.resident(), (2, 200));
+        let c = *sigs
+            .iter()
+            .find(|s| std::ptr::eq(cache.shard_of(s), cache.shard_of(&b)) && **s != b)
+            .expect("some other signature shares b's shard");
+        cache.publish(c, plan(150));
+        let (_, _, evictions, discards) = cache.counter_values();
+        assert_eq!(evictions, 0, "must not flush b's shard for nothing");
+        assert_eq!(discards, 1);
+        assert_eq!(cache.resident(), (2, 200), "both residents survive");
+        // Once b's shard alone can cover the need, eviction does happen.
+        cache.checkout(&a); // frees 100 of budget
+        cache.publish(c, plan(150));
+        let (_, _, evictions, _) = cache.counter_values();
+        assert_eq!(evictions, 1, "b evicted to admit c");
+        assert_eq!(cache.resident(), (1, 150));
+    }
+}

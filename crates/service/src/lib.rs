@@ -1,0 +1,55 @@
+//! `unisvd-service`: a concurrent SVD serving layer with a sharded plan
+//! cache.
+//!
+//! The plan/execute API (`unisvd_core::Svd` → [`SvdPlan`]) makes
+//! planning expensive-once and solving cheap-many-times *within one
+//! caller*. A serving workload — many independent request streams
+//! hitting one device with a mix of shapes, precisions, and
+//! configurations — needs the same amortization *across* callers. This
+//! crate holds the layer that provides it:
+//!
+//! * [`SvdService`] — accepts solve requests for arbitrary
+//!   `(m, n, precision, configuration)` combinations from any thread;
+//! * a **sharded plan cache** — N independently locked LRU shards keyed
+//!   by [`PlanSignature`], with an entry bound per shard and a global
+//!   device-memory budget (the `ExceedsDeviceMemory` headroom rule
+//!   applied to the cache as a whole), plus hit/miss/eviction/discard
+//!   counters ([`CacheStats`]);
+//! * **request coalescing** — [`SvdService::solve_batch`] groups
+//!   same-signature requests into one `execute_batch` fan-out on the
+//!   host work-stealing pool.
+//!
+//! The cardinal invariant, inherited from the core and preserved here:
+//! singular values served through the cache are **bit-identical** to
+//! values from a directly driven [`SvdPlan`], for every cached/uncached
+//! path and any thread count. `tests/determinism.rs` at the workspace
+//! root enforces it at 1, 4, and 8 threads.
+//!
+//! ```
+//! use unisvd_core::SvdConfig;
+//! use unisvd_gpu::hw;
+//! use unisvd_matrix::Matrix;
+//! use unisvd_service::SvdService;
+//!
+//! let service = SvdService::new(&hw::h100());
+//! let cfg = SvdConfig::default();
+//! // Mixed shapes and precisions through one shared service.
+//! let s32 = service.solve(&Matrix::<f32>::identity(32), &cfg)?;
+//! let s64 = service.solve(&Matrix::<f64>::identity(48), &cfg)?;
+//! assert!((s32.values[0] - 1.0).abs() < 1e-6);
+//! assert!((s64.values[0] - 1.0).abs() < 1e-12);
+//! assert_eq!(service.stats().misses, 2); // two distinct signatures
+//! # Ok::<(), unisvd_core::SvdError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod cache;
+mod lru;
+mod service;
+
+pub use service::{CacheStats, ServiceConfig, SvdService};
+
+// Re-exported so service callers can name the cache key and the plan
+// type without a separate unisvd_core dependency.
+pub use unisvd_core::{PlanSignature, SvdPlan};

@@ -1,0 +1,117 @@
+//! A minimal least-recently-used map, the per-shard store of the plan
+//! cache.
+//!
+//! Recency is a monotonic tick stamped on insert; eviction scans for the
+//! minimum. That is O(len) per eviction, which is the right trade here:
+//! shards hold tens of plans (each worth hundreds of kilobytes of device
+//! memory), not thousands of small entries, and the scan happens only
+//! when the shard is already at its capacity bound.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map that remembers insertion recency and can evict its
+/// least-recently-inserted entry.
+///
+/// The plan cache uses checkout/return semantics: a lookup *removes* the
+/// entry (the caller owns the plan while executing) and a return
+/// *re-inserts* it with a fresh tick, so recency tracks last use without
+/// a separate touch operation.
+pub(crate) struct LruMap<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
+    /// An empty map that [`is_full`](Self::is_full) once it holds `cap`
+    /// entries (`cap == 0` is permanently full: caching disabled).
+    pub fn new(cap: usize) -> Self {
+        LruMap {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether another insert requires an eviction first.
+    pub fn is_full(&self) -> bool {
+        self.map.len() >= self.cap
+    }
+
+    /// Whether `k` is resident.
+    pub fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Removes and returns the entry for `k` (the checkout half of the
+    /// checkout/return protocol).
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        self.map.remove(k).map(|(_, v)| v)
+    }
+
+    /// Inserts `v` under `k` with the freshest recency.
+    ///
+    /// # Panics
+    /// If the map [`is_full`](Self::is_full) or already contains `k` —
+    /// the cache layer evicts and deduplicates first, so either would be
+    /// an accounting bug.
+    pub fn insert(&mut self, k: K, v: V) {
+        assert!(!self.is_full(), "LruMap::insert on a full map");
+        self.tick += 1;
+        let prev = self.map.insert(k, (self.tick, v));
+        assert!(prev.is_none(), "LruMap::insert over an existing key");
+    }
+
+    /// Removes and returns the least-recently-inserted entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        let oldest = self
+            .map
+            .iter()
+            .min_by_key(|(_, (tick, _))| *tick)
+            .map(|(k, _)| k.clone())?;
+        let (_, v) = self.map.remove(&oldest).expect("key just observed");
+        Some((oldest, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_order_is_insertion_order() {
+        let mut lru = LruMap::new(3);
+        for k in 1..=3 {
+            lru.insert(k, k * 10);
+        }
+        assert!(lru.is_full());
+        assert_eq!(lru.pop_lru(), Some((1, 10)));
+        // Re-inserting 2 refreshes it past 3.
+        let v = lru.remove(&2).unwrap();
+        lru.insert(2, v);
+        assert_eq!(lru.pop_lru(), Some((3, 30)));
+        assert_eq!(lru.pop_lru(), Some((2, 20)));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_permanently_full() {
+        let lru: LruMap<u32, u32> = LruMap::new(0);
+        assert!(lru.is_full());
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn insert_past_capacity_panics() {
+        let mut lru = LruMap::new(1);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+    }
+}

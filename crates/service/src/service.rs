@@ -1,0 +1,288 @@
+//! [`SvdService`]: the request-facing serving layer.
+
+use crate::cache::{CachedPlan, PlanCache};
+use unisvd_core::{PlanSignature, Svd, SvdConfig, SvdError, SvdOutput, SvdPlan};
+use unisvd_gpu::{HardwareDescriptor, MemoryLedger};
+use unisvd_matrix::Matrix;
+use unisvd_scalar::Scalar;
+
+/// Tuning knobs for an [`SvdService`]'s plan cache.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Number of independently locked cache shards (`0` is clamped to
+    /// 1). More shards mean less lock contention between unrelated
+    /// signatures; the default (8) is ample for the lock hold times
+    /// involved (map operations only — never a solve).
+    pub shards: usize,
+    /// Resident-plan bound per shard. `0` disables caching entirely:
+    /// every request plans from scratch (the cold-path baseline the
+    /// throughput bench measures against).
+    pub plans_per_shard: usize,
+    /// Device-memory budget for all resident plans, in bytes. `None`
+    /// uses the device's full budget (memory net of the 25% workspace
+    /// headroom — the same rule behind `PlanError::ExceedsDeviceMemory`).
+    pub max_cache_bytes: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            plans_per_shard: 32,
+            max_cache_bytes: None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache's behavior counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served by a resident plan.
+    pub hits: u64,
+    /// Requests that had to build a plan.
+    pub misses: u64,
+    /// Plans pushed out by the capacity or memory bound.
+    pub evictions: u64,
+    /// Plans dropped on return: a concurrent same-signature caller
+    /// returned first, caching is disabled, or the plan alone exceeds
+    /// the memory budget.
+    pub discards: u64,
+    /// Plans currently resident.
+    pub resident_plans: usize,
+    /// Device bytes currently pinned by resident plans.
+    pub resident_bytes: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses, {} evictions, {} discards, {} resident ({} bytes)",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.discards,
+            self.resident_plans,
+            self.resident_bytes
+        )
+    }
+}
+
+/// A concurrent SVD serving layer over one (simulated) device.
+///
+/// The service accepts solve requests for arbitrary `(m, n, precision,
+/// configuration)` combinations and routes each through a sharded plan
+/// cache, so concurrent callers reuse [`SvdPlan`]s instead of
+/// re-planning — the FFTW-plan / cuSOLVER-handle amortization argument
+/// applied across requests instead of within one caller.
+///
+/// Shared by reference across threads (`&self` methods only); see
+/// [`solve`](Self::solve) for the checkout/return protocol. Results are
+/// **bit-identical** to driving an [`SvdPlan`] directly, for every
+/// cached/uncached path and any thread count.
+///
+/// ```
+/// use unisvd_gpu::hw;
+/// use unisvd_matrix::Matrix;
+/// use unisvd_service::SvdService;
+/// use unisvd_core::SvdConfig;
+///
+/// let service = SvdService::new(&hw::h100());
+/// let cfg = SvdConfig::default();
+/// let a = Matrix::<f32>::identity(32);
+/// let cold = service.solve(&a, &cfg)?; // builds and caches the plan
+/// let warm = service.solve(&a, &cfg)?; // reuses it
+/// assert_eq!(cold.values, warm.values);
+/// assert_eq!(service.stats().hits, 1);
+/// # Ok::<(), unisvd_core::SvdError>(())
+/// ```
+pub struct SvdService {
+    hw: HardwareDescriptor,
+    cache: PlanCache,
+}
+
+impl SvdService {
+    /// A service for device `hw` with the default cache configuration.
+    pub fn new(hw: &HardwareDescriptor) -> Self {
+        Self::with_config(hw, ServiceConfig::default())
+    }
+
+    /// A service for device `hw` with explicit cache knobs.
+    pub fn with_config(hw: &HardwareDescriptor, cfg: ServiceConfig) -> Self {
+        let budget = cfg.max_cache_bytes.unwrap_or_else(|| hw.budget_bytes());
+        SvdService {
+            hw: hw.clone(),
+            cache: PlanCache::new(
+                cfg.shards.max(1),
+                cfg.plans_per_shard,
+                MemoryLedger::new(budget),
+            ),
+        }
+    }
+
+    /// The device this service solves on.
+    pub fn hw(&self) -> &HardwareDescriptor {
+        &self.hw
+    }
+
+    /// The signature under which a request for this shape/precision/
+    /// configuration is cached.
+    pub fn signature<T: Scalar>(&self, rows: usize, cols: usize, cfg: &SvdConfig) -> PlanSignature {
+        self.builder::<T>(cfg).signature(rows, cols)
+    }
+
+    fn builder<T: Scalar>(&self, cfg: &SvdConfig) -> Svd<T> {
+        Svd::on(&self.hw).precision::<T>().config(*cfg)
+    }
+
+    /// Checks a plan for `sig` out of the cache, or builds one.
+    fn checkout_or_plan<T: Scalar>(
+        &self,
+        sig: &PlanSignature,
+        cfg: &SvdConfig,
+    ) -> Result<(SvdPlan<T>, bool), SvdError> {
+        match self.cache.checkout(sig) {
+            Some(cached) => {
+                let plan = cached
+                    .plan
+                    .downcast::<SvdPlan<T>>()
+                    .expect("a signature hit implies the cached plan's precision");
+                Ok((*plan, true))
+            }
+            None => {
+                let plan = self.builder::<T>(cfg).plan(sig.rows, sig.cols)?;
+                Ok((plan, false))
+            }
+        }
+    }
+
+    /// Returns `plan` to the cache for future requests of `sig`.
+    fn publish<T: Scalar>(&self, sig: PlanSignature, plan: SvdPlan<T>) {
+        let bytes = plan.device_bytes();
+        self.cache.publish(
+            sig,
+            CachedPlan {
+                plan: Box::new(plan),
+                bytes,
+            },
+        );
+    }
+
+    /// Solves one request: computes all singular values of `a` under
+    /// `cfg`, reusing a cached plan when one is resident.
+    ///
+    /// Protocol: the plan is checked **out** of its cache shard (no lock
+    /// is held while solving), executed, and returned. A cache hit runs
+    /// [`SvdPlan::execute`] (amortized host driver overhead); a miss
+    /// plans first and runs [`SvdPlan::execute_cold`], whose summary
+    /// carries the full one-shot driver overhead the planning work
+    /// actually cost — so the trace honestly separates warm from cold
+    /// serving cost. The *values* are bit-identical either way.
+    ///
+    /// # Errors
+    /// Exactly the plan API's errors: unsupported (device, precision)
+    /// pairs and over-capacity shapes from planning, and
+    /// [`SvdError::NoConvergence`] from pathological inputs (the plan is
+    /// still returned to the cache — the plan is fine, the data wasn't).
+    pub fn solve<T: Scalar>(&self, a: &Matrix<T>, cfg: &SvdConfig) -> Result<SvdOutput, SvdError> {
+        let sig = self.signature::<T>(a.rows(), a.cols(), cfg);
+        let (mut plan, warm) = self.checkout_or_plan::<T>(&sig, cfg)?;
+        let out = if warm {
+            plan.execute(a)
+        } else {
+            plan.execute_cold(a)
+        };
+        self.publish(sig, plan);
+        out
+    }
+
+    /// Solves a batch of requests, coalescing same-signature requests
+    /// into [`SvdPlan::execute_batch_refs`] calls that fan out on the
+    /// host work-stealing pool — one plan checkout (or build) per
+    /// distinct shape instead of per request.
+    ///
+    /// Each group's first request runs on the checked-out plan itself
+    /// (reusing its workspaces; on a miss it accounts the one-shot
+    /// driver cost exactly like [`solve`](Self::solve)); the rest of the
+    /// group fans out over per-chunk workers. Results are returned in
+    /// request order and are bit-identical to calling
+    /// [`solve`](Self::solve) per request, for any thread count: groups
+    /// are formed in first-seen order by shape, and the batched
+    /// executor's chunking depends only on group sizes.
+    pub fn solve_batch<T: Scalar>(
+        &self,
+        mats: &[Matrix<T>],
+        cfg: &SvdConfig,
+    ) -> Vec<Result<SvdOutput, SvdError>> {
+        // Group request indices by shape, in first-seen order (a linear
+        // scan per distinct shape: batches have few distinct shapes).
+        let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+        for (i, a) in mats.iter().enumerate() {
+            let shape = (a.rows(), a.cols());
+            match groups.iter_mut().find(|(s, _)| *s == shape) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((shape, vec![i])),
+            }
+        }
+        let mut results: Vec<Option<Result<SvdOutput, SvdError>>> =
+            mats.iter().map(|_| None).collect();
+        for ((rows, cols), idxs) in groups {
+            let sig = self.signature::<T>(rows, cols, cfg);
+            let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, cfg) {
+                Ok(found) => found,
+                Err(e) => {
+                    for i in idxs {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            // The group's first request uses the plan's own workspaces —
+            // and on a miss carries the one-shot driver cost, so cold
+            // serving cost is attributed identically to `solve`.
+            let first = idxs[0];
+            results[first] = Some(if warm {
+                plan.execute(&mats[first])
+            } else {
+                plan.execute_cold(&mats[first])
+            });
+            let rest = &idxs[1..];
+            if !rest.is_empty() {
+                let refs: Vec<&Matrix<T>> = rest.iter().map(|&i| &mats[i]).collect();
+                for (i, out) in rest.iter().zip(plan.execute_batch_refs(&refs)) {
+                    results[*i] = Some(out);
+                }
+            }
+            self.publish(sig, plan);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request index belongs to exactly one group"))
+            .collect()
+    }
+
+    /// A snapshot of the cache counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let (hits, misses, evictions, discards) = self.cache.counter_values();
+        let (resident_plans, resident_bytes) = self.cache.resident();
+        CacheStats {
+            hits,
+            misses,
+            evictions,
+            discards,
+            resident_plans,
+            resident_bytes,
+        }
+    }
+
+    /// The device-memory budget resident plans must fit in, bytes.
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.cache.budget_bytes()
+    }
+}
+
+impl std::fmt::Debug for SvdService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SvdService({}, {})", self.hw.name, self.stats())
+    }
+}

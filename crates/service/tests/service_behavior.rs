@@ -1,0 +1,258 @@
+//! Behavioral tests of the serving layer: cache hit/miss accounting,
+//! eviction under entry and memory bounds, request coalescing, error
+//! parity with the plan API, and bit-identity against directly driven
+//! plans.
+
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_core::{Svd, SvdConfig, SvdError};
+use unisvd_gpu::hw::{h100, mi250};
+use unisvd_matrix::{testmat, Matrix, SvDistribution};
+use unisvd_scalar::F16;
+use unisvd_service::{ServiceConfig, SvdService};
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn random_square(n: usize, seed: u64) -> Matrix<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    testmat::test_matrix::<f32, _>(n, SvDistribution::Logarithmic, false, &mut rng).0
+}
+
+#[test]
+fn cached_and_uncached_solves_match_direct_plan_bits() {
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let a = random_square(40, 1);
+    let mut plan = Svd::on(&h100())
+        .precision::<f32>()
+        .config(cfg)
+        .plan(40, 40)
+        .unwrap();
+    let direct = plan.execute(&a).unwrap();
+    let cold = service.solve(&a, &cfg).unwrap();
+    let warm = service.solve(&a, &cfg).unwrap();
+    assert_eq!(bits(&cold.values), bits(&direct.values));
+    assert_eq!(bits(&warm.values), bits(&direct.values));
+    let stats = service.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(stats.resident_plans, 1);
+    assert_eq!(stats.resident_bytes, plan.device_bytes());
+}
+
+#[test]
+fn cold_solve_costs_more_host_overhead_than_warm() {
+    // The miss pays the one-shot driver share (planning happened on this
+    // request); the hit pays dispatch only. Device-stage work is equal.
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let a = random_square(32, 2);
+    let cold = service.solve(&a, &cfg).unwrap();
+    let warm = service.solve(&a, &cfg).unwrap();
+    use unisvd_gpu::KernelClass::*;
+    for class in [PanelFactorization, TrailingUpdate, BandToBidiagonal] {
+        assert_eq!(
+            cold.summary.seconds_of(class),
+            warm.summary.seconds_of(class)
+        );
+    }
+    assert!(cold.summary.seconds_of(Other) > warm.summary.seconds_of(Other));
+}
+
+#[test]
+fn eviction_under_tight_entry_capacity() {
+    // One shard, two resident plans max: the third distinct signature
+    // must evict the least-recently-used one.
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 1,
+            plans_per_shard: 2,
+            max_cache_bytes: None,
+        },
+    );
+    let cfg = SvdConfig::default();
+    for n in [16, 24, 32] {
+        service.solve(&random_square(n, n as u64), &cfg).unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.resident_plans, 2);
+    // The evicted signature (16, the oldest) misses again; 32 still hits.
+    service.solve(&random_square(32, 32), &cfg).unwrap();
+    service.solve(&random_square(16, 16), &cfg).unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 4);
+}
+
+#[test]
+fn zero_capacity_disables_caching() {
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 4,
+            plans_per_shard: 0,
+            max_cache_bytes: None,
+        },
+    );
+    let cfg = SvdConfig::default();
+    let a = random_square(24, 9);
+    let first = service.solve(&a, &cfg).unwrap();
+    let second = service.solve(&a, &cfg).unwrap();
+    assert_eq!(bits(&first.values), bits(&second.values));
+    let stats = service.stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.discards, 2, "every returned plan is dropped");
+    assert_eq!(stats.resident_plans, 0);
+    assert_eq!(stats.resident_bytes, 0);
+}
+
+#[test]
+fn memory_budget_bounds_resident_bytes() {
+    let cfg = SvdConfig::default();
+    // Measure one plan's footprint, then budget for ~1.5 of them.
+    let probe = Svd::on(&h100())
+        .precision::<f32>()
+        .config(cfg)
+        .plan(64, 64)
+        .unwrap();
+    let one = probe.device_bytes();
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 1,
+            plans_per_shard: 8,
+            max_cache_bytes: Some(one + one / 2),
+        },
+    );
+    // Two same-footprint signatures: the second insert must evict the
+    // first (entry capacity allows both; memory does not).
+    service.solve(&random_square(64, 10), &cfg).unwrap();
+    service.solve(&random_square(63, 11), &cfg).unwrap(); // same padded size
+    let stats = service.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.resident_plans, 1);
+    assert!(stats.resident_bytes <= service.cache_budget_bytes());
+}
+
+#[test]
+fn plan_larger_than_budget_is_discarded_not_cached() {
+    let cfg = SvdConfig::default();
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 1,
+            plans_per_shard: 8,
+            max_cache_bytes: Some(1024), // smaller than any real plan
+        },
+    );
+    let out = service.solve(&random_square(32, 12), &cfg).unwrap();
+    assert!(!out.values.is_empty());
+    let stats = service.stats();
+    assert_eq!(stats.discards, 1);
+    assert_eq!(stats.resident_plans, 0);
+}
+
+#[test]
+fn solve_batch_coalesces_and_matches_individual_solves() {
+    let cfg = SvdConfig::default();
+    // Mixed shapes interleaved: 3 distinct signatures over 9 requests.
+    let mats: Vec<Matrix<f32>> = (0..9)
+        .map(|i| random_square([24, 32, 48][i % 3], 100 + i as u64))
+        .collect();
+    let service = SvdService::new(&h100());
+    let batched = service.solve_batch(&mats, &cfg);
+    assert_eq!(batched.len(), 9);
+    let stats = service.stats();
+    assert_eq!(
+        stats.misses, 3,
+        "one plan build per distinct shape, not per request"
+    );
+    assert_eq!(stats.resident_plans, 3);
+    // Request order preserved, values identical to per-request solves.
+    let oracle = SvdService::new(&h100());
+    for (a, res) in mats.iter().zip(&batched) {
+        let single = oracle.solve(a, &cfg).unwrap();
+        assert_eq!(bits(&res.as_ref().unwrap().values), bits(&single.values));
+    }
+    // A second batch is served entirely from cache.
+    let rebatched = service.solve_batch(&mats, &cfg);
+    assert_eq!(service.stats().misses, 3);
+    assert_eq!(service.stats().hits, 3);
+    for (first, second) in batched.iter().zip(&rebatched) {
+        assert_eq!(
+            bits(&first.as_ref().unwrap().values),
+            bits(&second.as_ref().unwrap().values)
+        );
+    }
+}
+
+#[test]
+fn error_parity_with_the_plan_api() {
+    // Unsupported (device, precision) surfaces exactly like the one-shot
+    // API, and nothing broken lands in the cache.
+    let service = SvdService::new(&mi250());
+    let cfg = SvdConfig::default();
+    let a = Matrix::<F16>::identity(16);
+    assert!(matches!(
+        service.solve(&a, &cfg),
+        Err(SvdError::Unsupported(_))
+    ));
+    let batch = service.solve_batch(&[a], &cfg);
+    assert!(matches!(batch[0], Err(SvdError::Unsupported(_))));
+    assert_eq!(service.stats().resident_plans, 0);
+}
+
+#[test]
+fn precisions_get_distinct_signatures() {
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let sig32 = service.signature::<f32>(32, 32, &cfg);
+    let sig64 = service.signature::<f64>(32, 32, &cfg);
+    assert_ne!(sig32, sig64);
+    service.solve(&Matrix::<f32>::identity(32), &cfg).unwrap();
+    service.solve(&Matrix::<f64>::identity(32), &cfg).unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.misses, 2, "f32 and f64 plans must not collide");
+    assert_eq!(stats.resident_plans, 2);
+}
+
+#[test]
+fn concurrent_mixed_workload_is_consistent() {
+    // Many threads, several signatures, shared service: every result
+    // must equal the single-threaded oracle, and the counters must add
+    // up (each request is exactly one hit or one miss).
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let shapes = [16usize, 24, 32];
+    let oracle: Vec<Vec<u64>> = shapes
+        .iter()
+        .map(|&n| {
+            let svc = SvdService::new(&h100());
+            bits(&svc.solve(&random_square(n, n as u64), &cfg).unwrap().values)
+        })
+        .collect();
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let service = &service;
+            let oracle = &oracle;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let which = (t + r) % shapes.len();
+                    let n = shapes[which];
+                    let out = service.solve(&random_square(n, n as u64), &cfg).unwrap();
+                    assert_eq!(bits(&out.values), oracle[which], "thread {t} round {r}");
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.hits + stats.misses, (THREADS * ROUNDS) as u64);
+    assert!(stats.misses >= shapes.len() as u64);
+    assert!(stats.resident_plans <= shapes.len() + stats.discards as usize);
+}

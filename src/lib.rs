@@ -14,6 +14,10 @@
 //!   hyperparameters, and allocate workspaces once, then solve the same
 //!   shape many times with no per-solve overhead (the LoRA-fleet
 //!   pattern).
+//! * [`SvdService`] — the serving layer: a thread-safe sharded plan
+//!   cache keyed by [`PlanSignature`], so concurrent request streams
+//!   share plans instead of re-planning, with same-signature batches
+//!   coalesced onto the work-stealing pool.
 //! * [`Device`] / [`hw`] — the bulk-synchronous GPU simulator and the
 //!   hardware descriptors.
 //! * [`Matrix`] and test-matrix generators.
@@ -34,19 +38,20 @@ pub use unisvd_baselines::{
 };
 pub use unisvd_core::{
     band_to_bidiagonal, bdsqr, bisect, dqds, svdvals, svdvals_batched, svdvals_batched_with,
-    svdvals_cost, svdvals_with, PlanError, Stage3Solver, Svd, SvdConfig, SvdError, SvdOutput,
-    SvdPlan,
+    svdvals_cost, svdvals_with, PlanError, PlanSignature, Stage3Solver, Svd, SvdConfig, SvdError,
+    SvdOutput, SvdPlan,
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
     BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchRecord,
-    LaunchSpec, TraceSummary, UnsupportedPrecision,
+    LaunchSpec, MemoryLedger, TraceSummary, UnsupportedPrecision,
 };
 pub use unisvd_kernels::HyperParams;
 pub use unisvd_matrix::{
     reference, testmat, BandMatrix, Bidiagonal, Matrix, MatrixRef, SvDistribution,
 };
 pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};
+pub use unisvd_service::{CacheStats, ServiceConfig, SvdService};
 
 /// Host threading controls, re-exported from the vendored work-stealing
 /// pool (`shims/rayon`).

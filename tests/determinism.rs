@@ -8,7 +8,7 @@ use rayon::prelude::*;
 use unisvd::threading::ThreadPoolBuilder;
 use unisvd::{
     hw, svdvals_batched, svdvals_with, testmat, Device, HyperParams, LaunchRecord, Matrix,
-    SvDistribution, SvdConfig,
+    SvDistribution, Svd, SvdConfig, SvdService,
 };
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
@@ -115,6 +115,63 @@ fn launch_traces_bit_identical_across_thread_counts() {
     );
     for t in THREAD_COUNTS {
         assert_eq!(run(t), sequential, "trace changed at {t} threads");
+    }
+}
+
+#[test]
+fn service_cached_and_fresh_plans_bit_identical_across_thread_counts() {
+    // The acceptance gate of the serving layer: for every request, the
+    // service — whatever its cache state, at 1, 4, and 8 threads, via
+    // solve or coalesced solve_batch — must produce the bits of a
+    // directly driven fresh SvdPlan.
+    let mats = golden_batch();
+    let cfg = SvdConfig::default();
+    // Oracle: one fresh plan per request shape, no cache, no pool.
+    let direct: Vec<Vec<u64>> = mats
+        .iter()
+        .map(|a| {
+            let mut plan = Svd::on(&hw::h100())
+                .precision::<f64>()
+                .config(cfg)
+                .plan(a.rows(), a.cols())
+                .unwrap();
+            plan.execute(a)
+                .unwrap()
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    for t in [1, 4, 8] {
+        pool(t).install(|| {
+            let service = SvdService::new(&hw::h100());
+            // Pass 1 exercises every uncached path, pass 2 every cached
+            // path; the coalesced batch mixes checkout + execute_batch.
+            for pass in ["cold", "warm"] {
+                for (a, want) in mats.iter().zip(&direct) {
+                    let got: Vec<u64> = service
+                        .solve(a, &cfg)
+                        .unwrap()
+                        .values
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(&got, want, "{pass} solve changed bits at {t} threads");
+                }
+            }
+            let batched = service.solve_batch(&mats, &cfg);
+            for (res, want) in batched.iter().zip(&direct) {
+                let got: Vec<u64> = res
+                    .as_ref()
+                    .unwrap()
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(&got, want, "solve_batch changed bits at {t} threads");
+            }
+        });
     }
 }
 

@@ -6,13 +6,14 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "accuracy_study",
     "image_compression",
     "lora_rank_selection",
     "portability_matrix",
     "solver_showdown",
+    "svd_server",
 ];
 
 fn target_dir() -> PathBuf {

@@ -55,6 +55,60 @@ fn same_location_across_launches_is_fine() {
 }
 
 #[test]
+fn hot_signature_hammered_from_many_threads() {
+    // Worst-case cache contention: every thread requests the SAME
+    // signature in a tight loop, so checkout/build/publish constantly
+    // collide — the exact interleaving where a broken checkout/return
+    // protocol would hand one plan to two threads (nondeterministic
+    // bits) or corrupt the counters. Every solve must match the
+    // single-threaded oracle bit for bit.
+    use unisvd::{SvdConfig, SvdService};
+    let a = unisvd::testmat::kahan(32, 0.285);
+    let cfg = SvdConfig::default();
+    let oracle: Vec<u64> = {
+        let service = SvdService::new(&hw::h100());
+        service
+            .solve(&a, &cfg)
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    };
+    let service = SvdService::new(&hw::h100());
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 16;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (service, a, cfg, oracle) = (&service, &a, &cfg, &oracle);
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let got: Vec<u64> = service
+                        .solve(a, cfg)
+                        .unwrap()
+                        .values
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(&got, oracle, "thread {t} round {r} changed bits");
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * ROUNDS) as u64,
+        "every request is exactly one hit or one miss"
+    );
+    // One signature: at most one plan stays resident, and every extra
+    // concurrently built plan must have been discarded on return.
+    assert_eq!(stats.resident_plans, 1);
+    assert_eq!(stats.misses, stats.discards + 1);
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
 fn full_pipeline_is_race_free() {
     // The real kernels (fused and unfused, QR and LQ sweeps) under the
     // detector: any cross-workgroup overlapping write would panic here.
