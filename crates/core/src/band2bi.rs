@@ -32,68 +32,25 @@ pub fn givens<R: Real>(f: R, g: R) -> (R, R, R) {
     }
 }
 
-/// Applies a right (column) rotation mixing columns `j1 < j2` over every
-/// stored row, then forces the annihilation target `(zi, j2)` to exact 0.
+/// Applies a right (column) rotation mixing the adjacent columns
+/// `(j1, j1 + 1)` over every stored row, then forces the annihilation
+/// target `(zi, j1 + 1)` to exact 0. Delegates to the band storage's
+/// batched slice implementation ([`BandMatrix::givens_cols`]), which is
+/// bit-identical to the historical element-at-a-time loop.
+#[inline]
 fn rotate_cols<R: Real>(b: &mut BandMatrix<R>, j1: usize, j2: usize, c: R, s: R, zi: usize) {
-    let n = b.n();
-    let lo = j1.saturating_sub(b.sup());
-    let hi = (j2 + b.sub()).min(n - 1);
-    for i in lo..=hi {
-        let in1 = b.in_band(i, j1);
-        let in2 = b.in_band(i, j2);
-        if !in1 && !in2 {
-            continue;
-        }
-        let f = b.get(i, j1);
-        let g = b.get(i, j2);
-        if f == R::ZERO && g == R::ZERO {
-            continue;
-        }
-        let nf = c * f + s * g;
-        let ng = -s * f + c * g;
-        if in1 {
-            b.set(i, j1, nf);
-        } else {
-            debug_assert!(nf == R::ZERO, "column rotation escaped band at ({i},{j1})");
-        }
-        if in2 {
-            b.set(i, j2, if i == zi { R::ZERO } else { ng });
-        } else {
-            debug_assert!(ng == R::ZERO, "column rotation escaped band at ({i},{j2})");
-        }
-    }
+    debug_assert_eq!(j2, j1 + 1, "the chase only rotates adjacent columns");
+    b.givens_cols(j1, c, s, zi);
 }
 
-/// Applies a left (row) rotation mixing rows `i1 < i2` over every stored
-/// column, then forces the annihilation target `(i2, zj)` to exact 0.
+/// Applies a left (row) rotation mixing the adjacent rows `(i1, i1 + 1)`
+/// over every stored column, then forces the annihilation target
+/// `(i1 + 1, zj)` to exact 0 — via [`BandMatrix::givens_rows`], the
+/// batched twin of [`rotate_cols`].
+#[inline]
 fn rotate_rows<R: Real>(b: &mut BandMatrix<R>, i1: usize, i2: usize, c: R, s: R, zj: usize) {
-    let n = b.n();
-    let lo = i1.saturating_sub(b.sub());
-    let hi = (i2 + b.sup()).min(n - 1);
-    for j in lo..=hi {
-        let in1 = b.in_band(i1, j);
-        let in2 = b.in_band(i2, j);
-        if !in1 && !in2 {
-            continue;
-        }
-        let f = b.get(i1, j);
-        let g = b.get(i2, j);
-        if f == R::ZERO && g == R::ZERO {
-            continue;
-        }
-        let nf = c * f + s * g;
-        let ng = -s * f + c * g;
-        if in1 {
-            b.set(i1, j, nf);
-        } else {
-            debug_assert!(nf == R::ZERO, "row rotation escaped band at ({i1},{j})");
-        }
-        if in2 {
-            b.set(i2, j, if j == zj { R::ZERO } else { ng });
-        } else {
-            debug_assert!(ng == R::ZERO, "row rotation escaped band at ({i2},{j})");
-        }
-    }
+    debug_assert_eq!(i2, i1 + 1, "the chase only rotates adjacent rows");
+    b.givens_rows(i1, c, s, zj);
 }
 
 /// Annihilates element `(row, row + d)` (distance `d ≥ 2`) and chases the
@@ -168,6 +125,22 @@ pub fn band_to_bidiagonal<R: Real>(
     prec: unisvd_scalar::PrecisionKind,
     ts: usize,
 ) -> Bidiagonal<R> {
+    let mut bi = Bidiagonal::new(Vec::new(), Vec::new());
+    band_to_bidiagonal_into(dev, band, bandwidth, prec, ts, &mut bi);
+    bi
+}
+
+/// [`band_to_bidiagonal`] writing the result into an existing
+/// [`Bidiagonal`] whose vectors are reused — the steady-state path of a
+/// reused plan, which performs stage 2 without any heap allocation.
+pub fn band_to_bidiagonal_into<R: Real>(
+    dev: &Device,
+    band: &mut BandMatrix<R>,
+    bandwidth: usize,
+    prec: unisvd_scalar::PrecisionKind,
+    ts: usize,
+    bi: &mut Bidiagonal<R>,
+) {
     let n = band.n();
     for d in (2..=bandwidth).rev() {
         dev.launch::<R, _>(&sweep_spec(n, d, ts, prec), |_| {});
@@ -178,9 +151,10 @@ pub fn band_to_bidiagonal<R: Real>(
         }
     }
     if dev.mode() == ExecMode::Numeric {
-        band.to_bidiagonal()
+        band.to_bidiagonal_into(bi);
     } else {
-        Bidiagonal::new(Vec::new(), Vec::new())
+        bi.d.clear();
+        bi.e.clear();
     }
 }
 

@@ -89,13 +89,38 @@ pub fn extract_band<T: Scalar>(
     n: usize,
     ts: usize,
 ) -> BandMatrix<T::Accum> {
+    let mut band = BandMatrix::zeros(n, 1, ts + 1);
+    extract_band_into::<T>(dev, a_buf, n, ts, &mut band);
+    band
+}
+
+/// [`extract_band`] into an existing band matrix of the same geometry,
+/// refilled in place — the steady-state path of a reused plan, which
+/// extracts stage 1's result without allocating. Every stored cell is
+/// overwritten, so state left by a previous solve's chase is fully
+/// replaced.
+///
+/// # Panics
+/// In trace-only mode, or if `band` was not allocated as
+/// `BandMatrix::zeros(n, 1, ts + 1)`.
+pub fn extract_band_into<T: Scalar>(
+    dev: &Device,
+    a_buf: &GlobalBuffer<T>,
+    n: usize,
+    ts: usize,
+    band: &mut BandMatrix<T::Accum>,
+) {
     assert!(
         dev.mode() == ExecMode::Numeric,
         "band extraction requires numeric execution"
     );
+    assert!(
+        band.n() == n && band.sub() == 1 && band.sup() == ts + 1,
+        "band workspace geometry must match the planned problem"
+    );
     let a = DMat::new(a_buf, n);
     // sub = 1 and sup = ts + 1 give the stage-2 chase its bulge room.
-    BandMatrix::from_dense(n, 1, ts + 1, |i, j| {
+    band.refill_from_dense(|i, j| {
         if j < i || j > i + ts {
             return <T::Accum as unisvd_scalar::Real>::ZERO;
         }

@@ -125,18 +125,65 @@ fn trailing_shift<R: Real>(d: &[R], e: &[R], lo: usize, hi: usize) -> R {
     }
 }
 
+/// Reusable scratch for the stage-3 solvers ([`bdsqr_into`],
+/// [`dqds_into`](crate::dqds::dqds_into), [`bisect_into`]): the working
+/// copies every solve used to clone fresh (`d`/`e`, the dqds hat arrays,
+/// the Golub–Kahan `z` array) plus the output collector. Threaded through
+/// a reused [`SvdPlan`](crate::SvdPlan)'s workspace block so steady-state
+/// execution allocates nothing; a default-constructed workspace warms up
+/// on first use.
+#[derive(Default, Debug)]
+pub struct Stage3Workspace<R> {
+    /// Diagonal working copy (`d` for bdsqr, `q` for dqds).
+    pub(crate) d: Vec<R>,
+    /// Superdiagonal working copy (`e` for bdsqr, squared `e` for dqds).
+    pub(crate) e: Vec<R>,
+    /// dqds `q̂` hat array; doubles as bisect's interleaved `z` array.
+    pub(crate) qh: Vec<R>,
+    /// dqds `ê` hat array.
+    pub(crate) eh: Vec<R>,
+    /// Collected singular values, descending after a successful solve.
+    pub(crate) out: Vec<R>,
+}
+
+impl<R: Real> Stage3Workspace<R> {
+    /// The singular values produced by the last `*_into` solver call,
+    /// descending.
+    pub fn values(&self) -> &[R] {
+        &self.out
+    }
+}
+
 /// Singular values of an upper bidiagonal matrix by implicit QR iteration
 /// (`xBDSQR`-style), descending order.
 pub fn bdsqr<R: Real>(bi: &Bidiagonal<R>) -> Result<Vec<R>, NoConvergence> {
+    let mut ws = Stage3Workspace::default();
+    bdsqr_into(bi, &mut ws)?;
+    Ok(ws.out)
+}
+
+/// [`bdsqr`] against a reusable [`Stage3Workspace`]: identical iteration,
+/// but the `d`/`e` working copies and the value collector reuse the
+/// workspace vectors instead of allocating. On success the values are in
+/// [`Stage3Workspace::values`], descending.
+pub fn bdsqr_into<R: Real>(
+    bi: &Bidiagonal<R>,
+    ws: &mut Stage3Workspace<R>,
+) -> Result<(), NoConvergence> {
     let n = bi.n();
+    ws.out.clear();
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
-    let mut d = bi.d.clone();
-    let mut e = bi.e.clone();
+    ws.d.clear();
+    ws.d.extend_from_slice(&bi.d);
+    ws.e.clear();
+    ws.e.extend_from_slice(&bi.e);
+    let (d, e) = (&mut ws.d[..], &mut ws.e[..]);
     let anorm = bi.fro_norm();
     if anorm == R::ZERO {
-        return Ok(vec![R::ZERO; n]);
+        ws.out.resize(n, R::ZERO);
+        return Ok(());
     }
     let tol = R::EPSILON * R::from_f64(8.0);
     let safmin = R::MIN_POSITIVE / R::EPSILON;
@@ -186,22 +233,25 @@ pub fn bdsqr<R: Real>(bi: &Bidiagonal<R>) -> Result<Vec<R>, NoConvergence> {
         let dmin = (lo..=hi).map(|i| d[i].abs()).fold(R::MAX, R::min);
         let use_zero_shift = dmin <= tol * dmax;
         if use_zero_shift {
-            zero_shift_sweep(&mut d, &mut e, lo, hi);
+            zero_shift_sweep(d, e, lo, hi);
         } else {
-            let mu = trailing_shift(&d, &e, lo, hi);
+            let mu = trailing_shift(d, e, lo, hi);
             // A shift larger than the block norm² means cancellation —
             // fall back to zero shift.
             if mu <= R::ZERO {
-                zero_shift_sweep(&mut d, &mut e, lo, hi);
+                zero_shift_sweep(d, e, lo, hi);
             } else {
-                shifted_sweep(&mut d, &mut e, lo, hi, mu);
+                shifted_sweep(d, e, lo, hi, mu);
             }
         }
     }
 
-    let mut sv: Vec<R> = d.iter().map(|x| x.abs()).collect();
-    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    Ok(sv)
+    ws.out.extend(d.iter().map(|x| x.abs()));
+    // In-place unstable sort: all keys are non-negative with well-defined
+    // bit patterns, so the output sequence is bit-identical to a stable
+    // sort — without the merge buffer a stable sort allocates.
+    ws.out.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    Ok(())
 }
 
 /// Sturm count: number of eigenvalues of the Golub–Kahan tridiagonal
@@ -226,18 +276,29 @@ fn tgk_count_below<R: Real>(z: &[R], x: R) -> usize {
 /// Singular values by bisection on the Golub–Kahan tridiagonal —
 /// failure-proof oracle, descending order.
 pub fn bisect<R: Real>(bi: &Bidiagonal<R>) -> Vec<R> {
+    let mut ws = Stage3Workspace::default();
+    bisect_into(bi, &mut ws);
+    ws.out
+}
+
+/// [`bisect`] against a reusable [`Stage3Workspace`]: the interleaved
+/// Golub–Kahan `z` array and the value collector reuse the workspace
+/// vectors. Values land in [`Stage3Workspace::values`], descending.
+pub fn bisect_into<R: Real>(bi: &Bidiagonal<R>, ws: &mut Stage3Workspace<R>) {
     let n = bi.n();
+    ws.out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     // Interleaved off-diagonal: d0, e0, d1, e1, …, d_{n-1} (length 2n−1).
-    let mut z = Vec::with_capacity(2 * n - 1);
+    ws.qh.clear();
     for i in 0..n {
-        z.push(bi.d[i]);
+        ws.qh.push(bi.d[i]);
         if i + 1 < n {
-            z.push(bi.e[i]);
+            ws.qh.push(bi.e[i]);
         }
     }
+    let z = &ws.qh[..];
     // Gershgorin-style upper bound on |σ|.
     let mut ub = R::ZERO;
     for i in 0..z.len() {
@@ -248,7 +309,6 @@ pub fn bisect<R: Real>(bi: &Bidiagonal<R>) -> Vec<R> {
 
     // σ_k (ascending k) = (n + k + 1)-th smallest eigenvalue of TGK; we
     // bisect for each of the n positive eigenvalues.
-    let mut out = Vec::with_capacity(n);
     for k in 0..n {
         // #eigenvalues < x reaches n + k + 1 exactly when x > σ_k.
         let want = n + k + 1;
@@ -256,7 +316,7 @@ pub fn bisect<R: Real>(bi: &Bidiagonal<R>) -> Vec<R> {
         let mut hi = ub;
         for _ in 0..128 {
             let mid = (lo + hi) * R::HALF;
-            if tgk_count_below(&z, mid) >= want {
+            if tgk_count_below(z, mid) >= want {
                 hi = mid;
             } else {
                 lo = mid;
@@ -265,10 +325,9 @@ pub fn bisect<R: Real>(bi: &Bidiagonal<R>) -> Vec<R> {
                 break;
             }
         }
-        out.push((lo + hi) * R::HALF);
+        ws.out.push((lo + hi) * R::HALF);
     }
-    out.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    out
+    ws.out.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
 }
 
 /// Accounts the stage-3 CPU cost on the device trace (the paper runs this

@@ -26,7 +26,7 @@
 use unisvd_matrix::Bidiagonal;
 use unisvd_scalar::Real;
 
-use crate::bidiag_svd::NoConvergence;
+use crate::bidiag_svd::{NoConvergence, Stage3Workspace};
 
 /// Maximum dqds iterations per singular value.
 const MAXITER_PER_SV: usize = 40;
@@ -62,19 +62,50 @@ fn dqds_step<R: Real>(q: &[R], e: &[R], qh: &mut [R], eh: &mut [R], tau: R) -> R
 /// [`crate::bisect`]; preferred when high relative accuracy of *small*
 /// singular values matters (its transforms are subtraction-free).
 pub fn dqds<R: Real>(bi: &Bidiagonal<R>) -> Result<Vec<R>, NoConvergence> {
+    let mut ws = Stage3Workspace::default();
+    dqds_into(bi, &mut ws)?;
+    Ok(ws.out)
+}
+
+/// [`dqds`] against a reusable [`Stage3Workspace`]: the squared working
+/// arrays `q`/`e` and the hat arrays `q̂`/`ê` reuse the workspace vectors
+/// instead of allocating per solve. On success the values are in
+/// [`Stage3Workspace::values`], descending.
+///
+/// The rare interior-split path (an exactly decoupled block inside the
+/// active window) still recurses through the allocating [`dqds`]; every
+/// non-splitting solve — the steady state of well-coupled inputs — is
+/// allocation-free after workspace warmup.
+pub fn dqds_into<R: Real>(
+    bi: &Bidiagonal<R>,
+    ws: &mut Stage3Workspace<R>,
+) -> Result<(), NoConvergence> {
     let n = bi.n();
+    ws.out.clear();
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     if n == 1 {
-        return Ok(vec![bi.d[0].abs()]);
+        ws.out.push(bi.d[0].abs());
+        return Ok(());
     }
 
     // Squared, nonnegative working arrays (signs of d/e do not affect σ).
-    let mut q: Vec<R> = bi.d.iter().map(|&x| x * x).collect();
-    let mut e: Vec<R> = bi.e.iter().map(|&x| x * x).collect();
-    let mut qh = vec![R::ZERO; n];
-    let mut eh = vec![R::ZERO; n - 1];
+    ws.d.clear();
+    ws.d.extend(bi.d.iter().map(|&x| x * x));
+    ws.e.clear();
+    ws.e.extend(bi.e.iter().map(|&x| x * x));
+    ws.qh.clear();
+    ws.qh.resize(n, R::ZERO);
+    ws.eh.clear();
+    ws.eh.resize(n - 1, R::ZERO);
+    let Stage3Workspace {
+        d: q,
+        e,
+        qh,
+        eh,
+        out,
+    } = ws;
 
     let scale: R = q
         .iter()
@@ -83,7 +114,6 @@ pub fn dqds<R: Real>(bi: &Bidiagonal<R>) -> Result<Vec<R>, NoConvergence> {
         .max(R::MIN_POSITIVE);
     let tol = R::EPSILON * R::EPSILON * R::from_f64(4.0);
 
-    let mut out: Vec<R> = Vec::with_capacity(n);
     let mut shift_acc = R::ZERO; // accumulated shifts for the active block
     let mut hi = n - 1; // active block is q[0..=hi]
     let mut budget = MAXITER_PER_SV * n * 2;
@@ -153,9 +183,11 @@ pub fn dqds<R: Real>(bi: &Bidiagonal<R>) -> Result<Vec<R>, NoConvergence> {
         e[..hi].copy_from_slice(&eh[..hi]);
     }
 
-    let mut sv: Vec<R> = out.into_iter().map(|x| x.max(R::ZERO).sqrt()).collect();
-    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    Ok(sv)
+    for v in out.iter_mut() {
+        *v = v.max(R::ZERO).sqrt();
+    }
+    out.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    Ok(())
 }
 
 #[cfg(test)]

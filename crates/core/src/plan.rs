@@ -31,10 +31,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::band2bi::band_to_bidiagonal;
-use crate::band_diag::{band_diag, extract_band};
-use crate::bidiag_svd::{account_stage3_cost, bdsqr, bisect};
-use crate::dqds::dqds;
+use crate::band2bi::band_to_bidiagonal_into;
+use crate::band_diag::{band_diag, extract_band_into};
+use crate::bidiag_svd::{account_stage3_cost, bdsqr_into, bisect_into, Stage3Workspace};
+use crate::dqds::dqds_into;
 use crate::svd::{resolve_params, Stage3Solver, SvdConfig, SvdError, SvdOutput};
 use std::marker::PhantomData;
 use unisvd_gpu::{
@@ -43,6 +43,7 @@ use unisvd_gpu::{
 };
 use unisvd_kernels::HyperParams;
 use unisvd_matrix::Matrix;
+use unisvd_matrix::{BandMatrix, Bidiagonal};
 use unisvd_scalar::{PrecisionKind, Real, Scalar};
 
 /// Errors detected while *planning* a computation — before any solve
@@ -231,6 +232,7 @@ impl PlanCore {
             return Workspace {
                 staging: Vec::new(),
                 qr: Vec::new(),
+                pipe: PipelineScratch::for_trace(self.padded),
             };
         }
         let qr_len = match self.kind {
@@ -240,19 +242,55 @@ impl PlanCore {
         Workspace {
             staging: vec![T::zero(); self.padded * self.padded],
             qr: vec![0.0; qr_len],
+            pipe: PipelineScratch::for_numeric(self.padded, self.params.tilesize),
+        }
+    }
+}
+
+/// Reusable scratch for stages 2–3 of one pipeline run: the extracted
+/// band (with bulge headroom), the bidiagonal it reduces to, and the
+/// stage-3 solver workspace. Owned by a plan's [`Workspace`] so repeated
+/// executes refill instead of reallocate; the one-shot wrappers build a
+/// fresh one per call (exactly the old per-call behaviour).
+pub(crate) struct PipelineScratch<A> {
+    band: BandMatrix<A>,
+    bi: Bidiagonal<A>,
+    s3: Stage3Workspace<A>,
+}
+
+impl<A: Real> PipelineScratch<A> {
+    /// Scratch for a numeric run of padded size `padded`, tile `ts`.
+    pub(crate) fn for_numeric(padded: usize, ts: usize) -> Self {
+        PipelineScratch {
+            // sub = 1 / sup = ts + 1: the stage-2 bulge room.
+            band: BandMatrix::zeros(padded, 1, ts + 1),
+            bi: Bidiagonal::new(Vec::new(), Vec::new()),
+            s3: Stage3Workspace::default(),
+        }
+    }
+
+    /// Scratch for a trace-only run: no data, but the stage-2 cost
+    /// stream reads the placeholder's order.
+    pub(crate) fn for_trace(padded: usize) -> Self {
+        PipelineScratch {
+            band: BandMatrix::zeros(padded.max(1), 0, 0),
+            bi: Bidiagonal::new(Vec::new(), Vec::new()),
+            s3: Stage3Workspace::default(),
         }
     }
 }
 
 /// Preallocated host scratch: the padded column-major staging buffer the
-/// device upload reads from, and (tall/wide shapes) the `f64` QR factor
-/// scratch. Reused across every execute of one plan.
-pub(crate) struct Workspace<T> {
+/// device upload reads from, (tall/wide shapes) the `f64` QR factor
+/// scratch, and the stage-2/3 pipeline scratch. Reused across every
+/// execute of one plan.
+pub(crate) struct Workspace<T: Scalar> {
     staging: Vec<T>,
     qr: Vec<f64>,
+    pipe: PipelineScratch<T::Accum>,
 }
 
-impl<T> Workspace<T> {
+impl<T: Scalar> Workspace<T> {
     /// Identity of the staging allocation — lets tests assert that plan
     /// reuse never reallocates the padded matrix.
     #[cfg(test)]
@@ -484,6 +522,35 @@ impl<T: Scalar> SvdPlan<T> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn execute(&mut self, a: &Matrix<T>) -> Result<SvdOutput, SvdError> {
+        let mut out = SvdOutput::empty();
+        self.execute_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`execute`](SvdPlan::execute) writing into an existing
+    /// [`SvdOutput`] — the zero-allocation steady-state entry point:
+    /// once `out` and the plan's workspaces have warmed up (one solve),
+    /// repeated calls perform **no heap allocation at all** (enforced by
+    /// the workspace's `tests/alloc_budget.rs` counting-allocator
+    /// harness). Values, resolved parameters, padded size, and the
+    /// per-solve summary all overwrite `out` in place; results are
+    /// bit-identical to [`execute`](SvdPlan::execute).
+    ///
+    /// ```
+    /// use unisvd_core::{Svd, SvdOutput};
+    /// use unisvd_gpu::hw;
+    /// use unisvd_matrix::Matrix;
+    ///
+    /// let mut plan = Svd::on(&hw::h100()).precision::<f64>().plan(16, 16)?;
+    /// let mut out = SvdOutput::empty();
+    /// for k in 1..=3 {
+    ///     let a = Matrix::<f64>::from_fn(16, 16, |i, j| if i == j { k as f64 } else { 0.0 });
+    ///     plan.execute_into(&a, &mut out)?;
+    ///     assert!((out.values[0] - k as f64).abs() < 1e-12);
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn execute_into(&mut self, a: &Matrix<T>, out: &mut SvdOutput) -> Result<(), SvdError> {
         self.dev.reset();
         execute_core(
             &self.core,
@@ -493,6 +560,7 @@ impl<T: Scalar> SvdPlan<T> {
             &self.tau,
             a,
             DriverCost::Amortized,
+            out,
         )
     }
 
@@ -507,6 +575,20 @@ impl<T: Scalar> SvdPlan<T> {
     /// # Errors
     /// Exactly as [`execute`](SvdPlan::execute).
     pub fn execute_cold(&mut self, a: &Matrix<T>) -> Result<SvdOutput, SvdError> {
+        let mut out = SvdOutput::empty();
+        self.execute_cold_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`execute_cold`](SvdPlan::execute_cold) writing into an existing
+    /// [`SvdOutput`] in place — the cache-miss twin of
+    /// [`execute_into`](SvdPlan::execute_into), used by serving layers
+    /// whose output shells are caller-owned.
+    pub fn execute_cold_into(
+        &mut self,
+        a: &Matrix<T>,
+        out: &mut SvdOutput,
+    ) -> Result<(), SvdError> {
         self.dev.reset();
         execute_core(
             &self.core,
@@ -516,6 +598,7 @@ impl<T: Scalar> SvdPlan<T> {
             &self.tau,
             a,
             DriverCost::OneShot,
+            out,
         )
     }
 
@@ -619,6 +702,8 @@ impl<T: Scalar> SvdPlan<T> {
         if self.core.kind != PlanKind::Empty {
             let buf = dev.alloc::<T>(0);
             let tau = dev.alloc::<T>(0);
+            let mut pipe = PipelineScratch::for_trace(self.core.padded);
+            let mut values = Vec::new();
             let r = run_pipeline::<T>(
                 &dev,
                 &buf,
@@ -627,6 +712,8 @@ impl<T: Scalar> SvdPlan<T> {
                 &self.core.params,
                 &self.core.cfg,
                 DriverCost::Amortized,
+                &mut pipe,
+                &mut values,
             );
             debug_assert!(r.is_ok(), "trace-only pipeline cannot fail");
         }
@@ -657,10 +744,13 @@ impl<T: Scalar> std::fmt::Debug for SvdPlan<T> {
 }
 
 /// One solve against an already-planned core: fill staging (by shape
-/// strategy), upload into the existing device buffers, run the pipeline.
-/// Shared by [`SvdPlan::execute`] and the one-shot compatibility wrappers
-/// (which build a fresh core + workspace per call, exactly the old
-/// per-call work).
+/// strategy), upload into the existing device buffers, run the pipeline,
+/// and write every output — values, parameters, summary — into `out`
+/// in place (zero allocation once `out` and the workspace are warm).
+/// Shared by [`SvdPlan::execute_into`] and the one-shot compatibility
+/// wrappers (which build a fresh core + workspace per call, exactly the
+/// old per-call work).
+#[allow(clippy::too_many_arguments)] // internal seam shared by plan + one-shot paths
 pub(crate) fn execute_core<T: Scalar>(
     core: &PlanCore,
     ws: &mut Workspace<T>,
@@ -669,7 +759,8 @@ pub(crate) fn execute_core<T: Scalar>(
     tau: &GlobalBuffer<T>,
     a: &Matrix<T>,
     driver: DriverCost,
-) -> Result<SvdOutput, SvdError> {
+    out: &mut SvdOutput,
+) -> Result<(), SvdError> {
     if (a.rows(), a.cols()) != (core.rows, core.cols) {
         return Err(SvdError::ShapeMismatch {
             expected: (core.rows, core.cols),
@@ -677,12 +768,11 @@ pub(crate) fn execute_core<T: Scalar>(
         });
     }
     if core.kind == PlanKind::Empty {
-        return Ok(SvdOutput {
-            values: Vec::new(),
-            params: HyperParams::reference(),
-            padded_n: 0,
-            summary: dev.summary(),
-        });
+        out.values.clear();
+        out.params = HyperParams::reference();
+        out.padded_n = 0;
+        dev.summary_into(&mut out.summary);
+        return Ok(());
     }
 
     // Rescale so the largest entry is O(1): σ(cA) = c·σ(A), and narrow
@@ -746,27 +836,35 @@ pub(crate) fn execute_core<T: Scalar>(
         tau.fill(T::zero());
     }
 
-    run_pipeline::<T>(dev, buf, tau, core.padded, &core.params, &core.cfg, driver).map(
-        |mut values| {
-            values.truncate(core.mindim);
-            if scale != 1.0 {
-                for v in &mut values {
-                    *v *= scale;
-                }
-            }
-            SvdOutput {
-                values,
-                params: core.params,
-                padded_n: core.padded,
-                summary: dev.summary(),
-            }
-        },
-    )
+    run_pipeline::<T>(
+        dev,
+        buf,
+        tau,
+        core.padded,
+        &core.params,
+        &core.cfg,
+        driver,
+        &mut ws.pipe,
+        &mut out.values,
+    )?;
+    out.values.truncate(core.mindim);
+    if scale != 1.0 {
+        for v in &mut out.values {
+            *v *= scale;
+        }
+    }
+    out.params = core.params;
+    out.padded_n = core.padded;
+    dev.summary_into(&mut out.summary);
+    Ok(())
 }
 
 /// The three-stage pipeline (§3) over already-uploaded device buffers:
 /// dense → band on the device, band → bidiagonal bulge chasing,
-/// bidiagonal → values on the CPU.
+/// bidiagonal → values on the CPU. Intermediates live in `pipe` and the
+/// produced values overwrite `values` — both reused across solves by the
+/// plan path, freshly built per call by the one-shot wrappers.
+#[allow(clippy::too_many_arguments)] // internal seam shared by plan + one-shot paths
 pub(crate) fn run_pipeline<T: Scalar>(
     dev: &Device,
     buf: &GlobalBuffer<T>,
@@ -775,8 +873,11 @@ pub(crate) fn run_pipeline<T: Scalar>(
     p: &HyperParams,
     cfg: &SvdConfig,
     driver: DriverCost,
-) -> Result<Vec<f64>, SvdError> {
+    pipe: &mut PipelineScratch<T::Accum>,
+    values: &mut Vec<f64>,
+) -> Result<(), SvdError> {
     let fused = cfg.fused;
+    values.clear();
     // Host runtime overhead (dispatch, allocation, JIT cache checks in
     // the Julia original) — matters only at small sizes. A reused plan
     // has allocated and validated once, leaving dispatch only.
@@ -799,26 +900,34 @@ pub(crate) fn run_pipeline<T: Scalar>(
     band_diag(dev, buf, tau, padded, p, fused);
 
     // Stage 2: band → bidiagonal (bulge chasing; device-accounted).
-    let mut band = if dev.mode() == ExecMode::Numeric {
-        extract_band::<T>(dev, buf, padded, p.tilesize)
-    } else {
-        unisvd_matrix::BandMatrix::zeros(padded.max(1), 0, 0)
-    };
-    let bi = band_to_bidiagonal(dev, &mut band, p.tilesize, T::KIND, p.tilesize);
+    if dev.mode() == ExecMode::Numeric {
+        extract_band_into::<T>(dev, buf, padded, p.tilesize, &mut pipe.band);
+    }
+    band_to_bidiagonal_into(
+        dev,
+        &mut pipe.band,
+        p.tilesize,
+        T::KIND,
+        p.tilesize,
+        &mut pipe.bi,
+    );
 
     // Stage 3: bidiagonal → singular values (CPU, like the paper's LAPACK
     // call).
     account_stage3_cost(dev, padded);
     if dev.mode() == ExecMode::Numeric {
-        let sv = match cfg.solver {
-            Stage3Solver::Bdsqr => bdsqr(&bi).map_err(SvdError::NoConvergence)?,
-            Stage3Solver::Dqds => dqds(&bi).map_err(SvdError::NoConvergence)?,
-            Stage3Solver::Bisect => bisect(&bi),
+        match cfg.solver {
+            Stage3Solver::Bdsqr => {
+                bdsqr_into(&pipe.bi, &mut pipe.s3).map_err(SvdError::NoConvergence)?
+            }
+            Stage3Solver::Dqds => {
+                dqds_into(&pipe.bi, &mut pipe.s3).map_err(SvdError::NoConvergence)?
+            }
+            Stage3Solver::Bisect => bisect_into(&pipe.bi, &mut pipe.s3),
         };
-        Ok(sv.into_iter().map(|x| x.to_f64()).collect())
-    } else {
-        Ok(Vec::new())
+        values.extend(pipe.s3.values().iter().map(|x| x.to_f64()));
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //! band→bidiagonal bulge chasing, stage 3 bidiagonal→values on the CPU.
 
 use crate::bidiag_svd::NoConvergence;
-use crate::plan::{execute_core, run_pipeline, DriverCost, PlanCore, PlanError, Svd};
+use crate::plan::{
+    execute_core, run_pipeline, DriverCost, PipelineScratch, PlanCore, PlanError, Svd,
+};
 use unisvd_gpu::{Device, ExecMode, HardwareDescriptor, TraceSummary, UnsupportedPrecision};
 use unisvd_kernels::HyperParams;
 use unisvd_matrix::Matrix;
@@ -89,6 +91,24 @@ pub struct SvdOutput {
     pub padded_n: usize,
     /// Simulated per-stage time accounting for this solve.
     pub summary: TraceSummary,
+}
+
+impl SvdOutput {
+    /// An empty output shell to pass to the in-place solve entry points
+    /// ([`SvdPlan::execute_into`](crate::SvdPlan::execute_into),
+    /// `SvdService::solve_into`): every field is overwritten by a solve,
+    /// and reusing one shell across solves makes the steady state
+    /// allocation-free once its vectors have grown to size.
+    pub fn empty() -> Self {
+        SvdOutput {
+            values: Vec::new(),
+            params: HyperParams::reference(),
+            padded_n: 0,
+            summary: TraceSummary {
+                by_class: Vec::new(),
+            },
+        }
+    }
 }
 
 /// Errors of the unified API.
@@ -187,7 +207,18 @@ pub fn svdvals_with<T: Scalar>(
     let buf = dev.alloc::<T>(core.padded() * core.padded());
     let tau = dev.alloc::<T>(core.padded());
     let mut ws = core.host_workspace::<T>(dev.mode());
-    execute_core(&core, &mut ws, dev, &buf, &tau, a, DriverCost::OneShot)
+    let mut out = SvdOutput::empty();
+    execute_core(
+        &core,
+        &mut ws,
+        dev,
+        &buf,
+        &tau,
+        a,
+        DriverCost::OneShot,
+        &mut out,
+    )?;
+    Ok(out)
 }
 
 /// Cost-only solve for paper-scale size sweeps: runs the identical launch
@@ -209,7 +240,19 @@ pub fn svdvals_cost<T: Scalar>(
     let padded = n.div_ceil(ts) * ts;
     let buf = dev.alloc::<T>(0);
     let tau = dev.alloc::<T>(0);
-    run_pipeline::<T>(dev, &buf, &tau, padded, &p, cfg, DriverCost::OneShot)?;
+    let mut pipe = PipelineScratch::for_trace(padded);
+    let mut values = Vec::new();
+    run_pipeline::<T>(
+        dev,
+        &buf,
+        &tau,
+        padded,
+        &p,
+        cfg,
+        DriverCost::OneShot,
+        &mut pipe,
+        &mut values,
+    )?;
     Ok(dev.summary())
 }
 

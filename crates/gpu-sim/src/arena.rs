@@ -1,0 +1,215 @@
+//! Pooled execution-context memory: register files, shared memory, and
+//! per-launch trace slots, reused across launches instead of reallocated.
+//!
+//! Every simulated launch needs one [`Workgroup`] context per workgroup
+//! (a register-file `Vec` plus a shared-memory `Vec`) and one grid-sized
+//! slot buffer for the per-workgroup superstep counts. Allocating those
+//! fresh on every launch is pure host-side churn the modeled GPUs never
+//! pay — a real runtime binds a kernel's register file and shared memory
+//! to the SM at launch, it does not `malloc`. [`WorkgroupArena`] is the
+//! device-owned pool that removes that churn: buffers are leased at
+//! launch, **reset** (zeroed to exactly the state a fresh allocation
+//! would have), and returned when the workgroup drops, so steady-state
+//! execution performs no heap allocation at all.
+//!
+//! The arena is keyed by compute type (`f32`/`f64` — the closed
+//! [`Real`] set), because one device runs kernels of both. Leases from
+//! concurrent worker threads synchronise on one mutex per typed pool;
+//! the hold time is a `Vec` pop/push.
+
+use crate::workgroup::Workgroup;
+use parking_lot::Mutex;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unisvd_scalar::Real;
+
+/// One workgroup's pooled buffers: the register file and shared memory.
+pub(crate) struct WgBuffers<R> {
+    pub(crate) regs: Vec<R>,
+    pub(crate) shared: Vec<R>,
+}
+
+/// The per-compute-type free list. [`Workgroup`]s hold an `Arc` to their
+/// originating pool and push their buffers back on drop.
+pub(crate) struct TypedPool<R> {
+    free: Mutex<Vec<WgBuffers<R>>>,
+}
+
+impl<R> Default for TypedPool<R> {
+    fn default() -> Self {
+        TypedPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<R> TypedPool<R> {
+    pub(crate) fn put_back(&self, regs: Vec<R>, shared: Vec<R>) {
+        self.free.lock().push(WgBuffers { regs, shared });
+    }
+}
+
+/// Device-owned pool of workgroup register files, shared memory, and
+/// per-launch trace slot buffers. See the module docs for the lifecycle;
+/// [`stats`](WorkgroupArena::stats) exposes lease/reuse counters so
+/// tests can prove that steady-state launches recycle instead of
+/// allocating.
+#[derive(Default)]
+pub struct WorkgroupArena {
+    pools: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+    steps: Mutex<Vec<Vec<u32>>>,
+    leases: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl WorkgroupArena {
+    /// Leases a workgroup context: pooled buffers when available (reset
+    /// to the zeroed state a fresh allocation would have), fresh ones on
+    /// a cold arena. The returned [`Workgroup`] gives its buffers back
+    /// to this arena when dropped.
+    pub fn lease<R: Real>(
+        &self,
+        group_id: usize,
+        nthreads: usize,
+        regs_per_thread: usize,
+        smem: usize,
+    ) -> Workgroup<R> {
+        let pool = self.typed_pool::<R>();
+        let bufs = pool.free.lock().pop();
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        let (mut regs, mut shared) = match bufs {
+            Some(WgBuffers { regs, shared }) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                (regs, shared)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        regs.clear();
+        regs.resize(nthreads * regs_per_thread, R::ZERO);
+        shared.clear();
+        shared.resize(smem, R::ZERO);
+        Workgroup::from_pool(group_id, nthreads, regs_per_thread, regs, shared, pool)
+    }
+
+    /// Leases a zeroed `grid`-sized per-workgroup superstep slot buffer.
+    /// Pair with [`return_steps`](Self::return_steps) (or keep the buffer
+    /// when the launch record retains it).
+    pub fn lease_steps(&self, grid: usize) -> Vec<u32> {
+        let mut buf = self.steps.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(grid, 0);
+        buf
+    }
+
+    /// Returns a slot buffer leased by [`lease_steps`](Self::lease_steps).
+    pub fn return_steps(&self, buf: Vec<u32>) {
+        self.steps.lock().push(buf);
+    }
+
+    /// `(leases, reuses)` since construction: how many workgroup
+    /// contexts were handed out, and how many of those were served from
+    /// the pool instead of freshly allocated. In steady state every
+    /// lease is a reuse.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.leases.load(Ordering::Relaxed),
+            self.reuses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn typed_pool<R: Real>(&self) -> Arc<TypedPool<R>> {
+        let mut pools = self.pools.lock();
+        let entry = pools
+            .entry(TypeId::of::<R>())
+            .or_insert_with(|| Arc::new(TypedPool::<R>::default()) as Arc<dyn Any + Send + Sync>)
+            .clone();
+        drop(pools);
+        entry
+            .downcast::<TypedPool<R>>()
+            .expect("pool entry keyed by its own TypeId")
+    }
+}
+
+impl std::fmt::Debug for WorkgroupArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (leases, reuses) = self.stats();
+        write!(f, "WorkgroupArena({leases} leases, {reuses} reuses)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leased_workgroup_starts_zeroed_like_a_fresh_one() {
+        let arena = WorkgroupArena::default();
+        {
+            let mut wg = arena.lease::<f64>(0, 4, 2, 3);
+            wg.step(|t| {
+                t.regs[0] = 7.0;
+                t.shared[t.tid.min(2)] = 9.0;
+            });
+        } // drop returns the dirtied buffers
+        let mut wg = arena.lease::<f64>(1, 4, 2, 3);
+        let mut seen = Vec::new();
+        wg.step(|t| {
+            seen.push(t.regs[0]);
+            seen.push(t.shared[t.tid.min(2)]);
+        });
+        assert!(
+            seen.iter().all(|&x| x == 0.0),
+            "reused buffers must be reset to the zeroed fresh state"
+        );
+        let (leases, reuses) = arena.stats();
+        assert_eq!(
+            (leases, reuses),
+            (2, 1),
+            "second lease reuses the first's buffers"
+        );
+    }
+
+    #[test]
+    fn pools_are_segregated_by_compute_type() {
+        let arena = WorkgroupArena::default();
+        drop(arena.lease::<f32>(0, 2, 1, 1));
+        drop(arena.lease::<f64>(0, 2, 1, 1));
+        // Each type's second lease reuses its own pool.
+        drop(arena.lease::<f32>(0, 2, 1, 1));
+        drop(arena.lease::<f64>(0, 2, 1, 1));
+        assert_eq!(arena.stats(), (4, 2));
+    }
+
+    #[test]
+    fn geometry_changes_are_served_by_resize() {
+        let arena = WorkgroupArena::default();
+        drop(arena.lease::<f64>(0, 2, 1, 4));
+        let mut wg = arena.lease::<f64>(0, 8, 3, 16); // bigger geometry
+        let mut count = 0;
+        wg.step(|t| {
+            assert_eq!(t.regs.len(), 3);
+            assert_eq!(t.shared.len(), 16);
+            count += 1;
+        });
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn steps_slots_round_trip() {
+        let arena = WorkgroupArena::default();
+        let mut buf = arena.lease_steps(4);
+        assert_eq!(buf, vec![0u32; 4]);
+        buf[2] = 9;
+        let ptr = buf.as_ptr();
+        arena.return_steps(buf);
+        let again = arena.lease_steps(3);
+        assert_eq!(again, vec![0u32; 3], "slots are re-zeroed on lease");
+        assert_eq!(
+            again.as_ptr(),
+            ptr,
+            "slot buffer is recycled, not reallocated"
+        );
+    }
+}

@@ -159,6 +159,49 @@ impl<T: Copy + Send + Sync> GlobalBuffer<T> {
         (0..self.len()).map(|i| self.read(i)).collect()
     }
 
+    /// Bulk read of `dst.len()` consecutive elements starting at
+    /// `offset`, mapped through `f` (e.g. a storage → compute upcast) —
+    /// the contiguous fast path of kernel cooperative loaders.
+    /// Equivalent to element-wise [`read`](Self::read) of the same range
+    /// (same values, same race discipline: reads never race within a
+    /// launch), with the bounds checked once so the loop vectorises.
+    ///
+    /// # Panics
+    /// If `offset + dst.len()` exceeds the buffer length.
+    #[inline]
+    pub fn read_range_with<U>(&self, offset: usize, dst: &mut [U], f: impl Fn(T) -> U) {
+        let cells = &self.cells[offset..offset + dst.len()];
+        for (d, cell) in dst.iter_mut().zip(cells) {
+            // SAFETY: see `read`.
+            *d = f(unsafe { *cell.0.get() });
+        }
+    }
+
+    /// Bulk write of `src` to consecutive elements starting at `offset`,
+    /// mapped through `f` (e.g. a compute → storage rounding) — the
+    /// contiguous fast path of kernel cooperative stores. On
+    /// race-checking buffers this degrades to element-wise
+    /// [`write`](Self::write) so every ownership tag is maintained.
+    ///
+    /// # Panics
+    /// If `offset + src.len()` exceeds the buffer length; on
+    /// race-checking buffers, additionally on a write-write race.
+    #[inline]
+    pub fn write_range_with<U: Copy>(&self, offset: usize, src: &[U], f: impl Fn(U) -> T) {
+        if self.tags.is_some() {
+            for (k, &v) in src.iter().enumerate() {
+                self.write(offset + k, f(v));
+            }
+            return;
+        }
+        let cells = &self.cells[offset..offset + src.len()];
+        for (cell, &v) in cells.iter().zip(src) {
+            // SAFETY: see `read`; distinct workgroups write disjoint
+            // ranges by the kernel discipline documented on the type.
+            unsafe { *cell.0.get() = f(v) }
+        }
+    }
+
     /// Overwrites the whole buffer from a host slice — the reuse path of a
     /// plan/execute workflow (upload into an existing allocation instead
     /// of allocating per solve). Runs outside any launch, so the race

@@ -1,5 +1,6 @@
 //! The simulated device: launch API, execution modes, and time accounting.
 
+use crate::arena::WorkgroupArena;
 use crate::buffer::GlobalBuffer;
 use crate::cost::{cost_of_cpu_work, cost_of_launch, cost_of_transfer, KernelClass, LaunchSpec};
 use crate::hw::{HardwareDescriptor, UnsupportedPrecision};
@@ -30,6 +31,7 @@ pub struct Device {
     trace: Mutex<Trace>,
     race_check: bool,
     epoch: std::sync::atomic::AtomicU64,
+    arena: WorkgroupArena,
 }
 
 impl Device {
@@ -41,7 +43,16 @@ impl Device {
             trace: Mutex::new(Trace::new(false)),
             race_check: false,
             epoch: std::sync::atomic::AtomicU64::new(0),
+            arena: WorkgroupArena::default(),
         }
+    }
+
+    /// The device's execution-context pool: register files, shared
+    /// memory, and per-launch trace slots, reused across launches. See
+    /// [`WorkgroupArena`]; exposed so tests and benchmarks can observe
+    /// steady-state reuse.
+    pub fn arena(&self) -> &WorkgroupArena {
+        &self.arena
     }
 
     /// Enables the cross-workgroup write-write race detector: buffers
@@ -117,6 +128,7 @@ impl Device {
             spill: cost.spill,
             wg_steps: Vec::new(),
         };
+        let mut steps_slots: Option<Vec<u32>> = None;
         if self.mode == ExecMode::Numeric {
             // Numeric geometry may differ from the costed geometry for
             // purely computational parameters (SPLITK); see `ExecGeometry`.
@@ -129,35 +141,50 @@ impl Device {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                 + 1;
             let race = self.race_check;
+            // Workgroup contexts and the grid-sized slot buffer come from
+            // the device arena — reset, not reallocated, in steady state.
+            let mut wg_steps = self.arena.lease_steps(spec.grid);
             if spec.grid == 1 {
                 // Avoid thread-pool overhead for the (frequent) 1-block
                 // panel kernels.
                 if race {
                     crate::buffer::set_race_ctx(epoch, 0, true);
                 }
-                let mut wg = Workgroup::new(0, block, rpt, smem);
+                let mut wg = self.arena.lease::<R>(0, block, rpt, smem);
                 body(&mut wg);
-                rec.wg_steps = vec![wg.steps() as u32];
+                wg_steps[0] = wg.steps() as u32;
                 if race {
                     crate::buffer::set_race_ctx(0, 0, false);
                 }
             } else {
-                let mut wg_steps = vec![0u32; spec.grid];
                 wg_steps.par_iter_mut().enumerate().for_each(|(g, slot)| {
                     if race {
                         crate::buffer::set_race_ctx(epoch, g as u64, true);
                     }
-                    let mut wg = Workgroup::new(g, block, rpt, smem);
+                    let mut wg = self.arena.lease::<R>(g, block, rpt, smem);
                     body(&mut wg);
                     *slot = wg.steps() as u32;
                     if race {
                         crate::buffer::set_race_ctx(0, 0, false);
                     }
                 });
-                rec.wg_steps = wg_steps;
+            }
+            steps_slots = Some(wg_steps);
+        }
+        // One trace lock for the record push. When records are retained
+        // (tests/ablations) the slot buffer moves into the record; on the
+        // common aggregate-only path it returns to the arena and the
+        // record carries no per-workgroup payload (nothing could observe
+        // it — records are dropped on push).
+        let mut trace = self.trace.lock();
+        if let Some(slots) = steps_slots {
+            if trace.keeps_records() {
+                rec.wg_steps = slots;
+            } else {
+                self.arena.return_steps(slots);
             }
         }
-        self.trace.lock().push(rec);
+        trace.push(rec);
     }
 
     /// Accounts a host↔device transfer of `bytes` (hybrid baselines).
@@ -239,6 +266,12 @@ impl Device {
     /// Summary of all accounted events since the last reset.
     pub fn summary(&self) -> TraceSummary {
         self.trace.lock().summary()
+    }
+
+    /// [`summary`](Self::summary) into an existing [`TraceSummary`],
+    /// reusing its storage (no allocation once warmed).
+    pub fn summary_into(&self, out: &mut TraceSummary) {
+        self.trace.lock().summary_into(out);
     }
 
     /// Retained records (only if [`Device::keep_records`] was used).

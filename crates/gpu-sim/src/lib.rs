@@ -19,6 +19,7 @@
 //! n = 131072, where allocating n² elements on the host is pointless —
 //! the event stream is identical by construction).
 
+pub mod arena;
 pub mod buffer;
 pub mod cost;
 pub mod device;
@@ -27,6 +28,7 @@ pub mod mem;
 pub mod trace;
 pub mod workgroup;
 
+pub use arena::WorkgroupArena;
 pub use buffer::GlobalBuffer;
 pub use cost::{cost_of_launch, ExecGeometry, KernelClass, LaunchCost, LaunchSpec};
 pub use device::{Device, ExecMode};

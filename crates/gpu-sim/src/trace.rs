@@ -88,15 +88,29 @@ impl Trace {
         &self.records
     }
 
+    /// Whether individual records are retained (vs aggregate-only).
+    pub fn keeps_records(&self) -> bool {
+        self.keep_records
+    }
+
     /// Snapshot of aggregated totals.
     pub fn summary(&self) -> TraceSummary {
-        let mut by_class = Vec::new();
+        let mut out = TraceSummary {
+            by_class: Vec::new(),
+        };
+        self.summary_into(&mut out);
+        out
+    }
+
+    /// Writes the aggregated totals into an existing summary, reusing its
+    /// vector — the allocation-free path of a reused solve plan.
+    pub fn summary_into(&self, out: &mut TraceSummary) {
+        out.by_class.clear();
         for class in KernelClass::ALL {
             if let Some(&t) = self.totals.get(&class) {
-                by_class.push((class, t));
+                out.by_class.push((class, t));
             }
         }
-        TraceSummary { by_class }
     }
 
     /// Clears all records and totals.

@@ -13,9 +13,18 @@
 //! would be racy on real hardware; the paper's kernels only communicate
 //! across barriers, which this model captures faithfully.
 
+use crate::arena::TypedPool;
+use std::sync::Arc;
 use unisvd_scalar::Real;
 
 /// Execution context of one workgroup (thread block).
+///
+/// Constructed either directly ([`Workgroup::new`], fresh allocations —
+/// fine for tests and one-off launches) or leased from a device's
+/// [`WorkgroupArena`](crate::WorkgroupArena), in which case the register
+/// and shared-memory buffers come from a pool, start in exactly the
+/// zeroed state a fresh allocation would have, and return to the pool on
+/// drop. Kernel code cannot tell the difference.
 pub struct Workgroup<R> {
     group_id: usize,
     nthreads: usize,
@@ -28,6 +37,19 @@ pub struct Workgroup<R> {
     /// Supersteps (barriers) executed so far; collected per workgroup into
     /// the launch trace, merged in grid order.
     steps: usize,
+    /// Originating arena pool; `None` for directly constructed contexts.
+    pool: Option<Arc<TypedPool<R>>>,
+}
+
+impl<R> Drop for Workgroup<R> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put_back(
+                std::mem::take(&mut self.regs),
+                std::mem::take(&mut self.shared),
+            );
+        }
+    }
 }
 
 /// Per-thread view handed to a superstep closure: the thread id, its
@@ -52,6 +74,30 @@ impl<R: Real> Workgroup<R> {
             regs: vec![R::ZERO; nthreads * regs_per_thread],
             shared: vec![R::ZERO; smem],
             steps: 0,
+            pool: None,
+        }
+    }
+
+    /// Arena-lease constructor: `regs`/`shared` are pre-reset pooled
+    /// buffers that return to `pool` when the workgroup drops.
+    pub(crate) fn from_pool(
+        group_id: usize,
+        nthreads: usize,
+        regs_per_thread: usize,
+        regs: Vec<R>,
+        shared: Vec<R>,
+        pool: Arc<TypedPool<R>>,
+    ) -> Self {
+        assert!(nthreads > 0, "workgroup needs at least one thread");
+        debug_assert_eq!(regs.len(), nthreads * regs_per_thread);
+        Workgroup {
+            group_id,
+            nthreads,
+            regs_per_thread,
+            regs,
+            shared,
+            steps: 0,
+            pool: Some(pool),
         }
     }
 
@@ -109,6 +155,18 @@ impl<R: Real> Workgroup<R> {
             regs,
             shared: &mut self.shared,
         });
+    }
+
+    /// Runs one superstep in which the whole workgroup cooperates on a
+    /// single operation over shared memory — the simulator counterpart of
+    /// a cooperative (all-threads) copy such as `shared[0..ts] = col`,
+    /// where the per-thread strided loop degenerates to one contiguous
+    /// slice operation. Counts exactly one superstep (one barrier), like
+    /// [`step`](Self::step); the closure sees shared memory only, because
+    /// a cooperative operation touches no thread-private registers.
+    pub fn step_collective(&mut self, f: impl FnOnce(&mut [R])) {
+        self.steps += 1;
+        f(&mut self.shared);
     }
 
     /// Read-only peek at shared memory (diagnostics/tests).

@@ -102,6 +102,40 @@ impl<'a, T: Scalar> DMat<'a, T> {
     pub fn write_tile(&self, ts: usize, ti: usize, tj: usize, i: usize, j: usize, v: T::Accum) {
         self.write(ti * ts + i, tj * ts + j, v)
     }
+
+    /// Bulk load of the column segment `(r0 .. r0 + out.len(), c)` into
+    /// `out`, upcast to the compute type. On an untransposed view the
+    /// segment is contiguous in column-major storage and copies as one
+    /// slice operation; a transposed view (stride `n`) falls back to the
+    /// element loop. Values are identical to element-wise
+    /// [`read`](Self::read) either way.
+    #[inline]
+    pub fn read_col(&self, r0: usize, c: usize, out: &mut [T::Accum]) {
+        if self.trans {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = self.read(r0 + k, c);
+            }
+        } else {
+            debug_assert!(r0 + out.len() <= self.n && c < self.n);
+            self.buf.read_range_with(c * self.n + r0, out, T::to_accum);
+        }
+    }
+
+    /// Bulk store of `src` to the column segment `(r0 .., c)`, rounding
+    /// from the compute type — the store twin of
+    /// [`read_col`](Self::read_col).
+    #[inline]
+    pub fn write_col(&self, r0: usize, c: usize, src: &[T::Accum]) {
+        if self.trans {
+            for (k, &v) in src.iter().enumerate() {
+                self.write(r0 + k, c, v);
+            }
+        } else {
+            debug_assert!(r0 + src.len() <= self.n && c < self.n);
+            self.buf
+                .write_range_with(c * self.n + r0, src, T::from_accum);
+        }
+    }
 }
 
 /// Device vector view for the τ coefficients, with the same upcast
@@ -133,6 +167,14 @@ impl<'a, T: Scalar> DVec<'a, T> {
     #[inline(always)]
     pub fn write(&self, i: usize, v: T::Accum) {
         self.buf.write(i, T::from_accum(v));
+    }
+
+    /// Bulk load of elements `off .. off + out.len()` into `out`, upcast
+    /// — τ̂ vectors are always contiguous, so cooperative τ̂ staging is a
+    /// single slice copy.
+    #[inline]
+    pub fn read_range(&self, off: usize, out: &mut [T::Accum]) {
+        self.buf.read_range_with(off, out, T::to_accum);
     }
 }
 

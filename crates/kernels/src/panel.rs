@@ -48,6 +48,10 @@ pub fn reflector_head<R: Real>(akk: R, nrm: R, eps10: R) -> (R, R, bool) {
 }
 
 /// Loads tile `(tr, tc)` into per-thread column registers at `reg_off`.
+/// Thread `i` owns tile column `i`, whose `ts` rows are one contiguous
+/// column-major segment — [`DMat::read_col`] copies it as a slice on
+/// untransposed views and falls back to the element loop on transposed
+/// ones (the LQ sweep).
 fn load_tile<T: Scalar>(
     wg: &mut Workgroup<T::Accum>,
     a: DMat<'_, T>,
@@ -58,9 +62,7 @@ fn load_tile<T: Scalar>(
 ) {
     wg.step(|t| {
         if t.tid < ts {
-            for j in 0..ts {
-                t.regs[reg_off + j] = a.read_tile(ts, tr, tc, j, t.tid);
-            }
+            a.read_col(tr * ts, tc * ts + t.tid, &mut t.regs[reg_off..reg_off + ts]);
         }
     });
 }
@@ -76,9 +78,7 @@ fn store_tile<T: Scalar>(
 ) {
     wg.step(|t| {
         if t.tid < ts {
-            for j in 0..ts {
-                a.write_tile(ts, tr, tc, j, t.tid, t.regs[reg_off + j]);
-            }
+            a.write_col(tr * ts, tc * ts + t.tid, &t.regs[reg_off..reg_off + ts]);
         }
     });
 }

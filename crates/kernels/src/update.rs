@@ -27,40 +27,40 @@ impl Layout {
     }
 }
 
-/// Cooperative strided load of τ̂ row `lt` into shared `[ts, 2ts)`.
+/// Cooperative load of τ̂ row `lt` into shared `[ts, 2ts)`.
+///
+/// On real hardware each of the `cpb` threads loads a strided share; the
+/// τ̂ vector is contiguous, so the strided loop degenerates to one slice
+/// copy the whole workgroup performs collectively (one superstep, same
+/// values, no per-element indexing).
 fn coop_load_tau<T: Scalar>(
     wg: &mut Workgroup<T::Accum>,
     tau: DVec<'_, T>,
     ts: usize,
-    cpb: usize,
+    _cpb: usize,
     lt: usize,
 ) {
-    wg.step(|t| {
-        let mut j = t.tid;
-        while j < ts {
-            t.shared[ts + j] = tau.read(lt * ts + j);
-            j += cpb;
-        }
+    wg.step_collective(|shared| {
+        tau.read_range(lt * ts, &mut shared[ts..2 * ts]);
     });
 }
 
-/// Cooperative strided load of Householder column `k` of tile `(lt, pc)`
-/// into shared `[0, ts)`.
+/// Cooperative load of Householder column `k` of tile `(lt, pc)` into
+/// shared `[0, ts)` — like [`coop_load_tau`], the strided per-thread
+/// share pattern covers exactly one tile column, which
+/// [`DMat::read_col`] copies as a contiguous slice on untransposed views
+/// (element loop on transposed ones).
 fn coop_load_v<T: Scalar>(
     wg: &mut Workgroup<T::Accum>,
     a: DMat<'_, T>,
     ts: usize,
-    cpb: usize,
+    _cpb: usize,
     lt: usize,
     pc: usize,
     k: usize,
 ) {
-    wg.step(|t| {
-        let mut j = t.tid;
-        while j < ts {
-            t.shared[j] = a.read_tile(ts, lt, pc, j, k);
-            j += cpb;
-        }
+    wg.step_collective(|shared| {
+        a.read_col(lt * ts, pc * ts + k, &mut shared[..ts]);
     });
 }
 
@@ -123,7 +123,9 @@ fn apply_coupled_reflectors<T: Scalar>(
     }
 }
 
-/// Loads column `col` rows `[row0, row0+ts)` into registers at `reg_off`.
+/// Loads column `col` rows `[row0, row0+ts)` into registers at `reg_off`
+/// — a contiguous column segment per thread ([`DMat::read_col`] slice
+/// fast path on untransposed views).
 fn load_col<T: Scalar>(
     wg: &mut Workgroup<T::Accum>,
     a: DMat<'_, T>,
@@ -135,9 +137,7 @@ fn load_col<T: Scalar>(
 ) {
     wg.step(|t| {
         let c = col0 + wg_col(t.tid, cpb);
-        for j in 0..ts {
-            t.regs[reg_off + j] = a.read(row0 + j, c);
-        }
+        a.read_col(row0, c, &mut t.regs[reg_off..reg_off + ts]);
     });
 }
 
@@ -153,9 +153,7 @@ fn store_col<T: Scalar>(
 ) {
     wg.step(|t| {
         let c = col0 + wg_col(t.tid, cpb);
-        for j in 0..ts {
-            a.write(row0 + j, c, t.regs[reg_off + j]);
-        }
+        a.write_col(row0, c, &t.regs[reg_off..reg_off + ts]);
     });
 }
 

@@ -6,9 +6,17 @@
 //! shards hold tens of plans (each worth hundreds of kilobytes of device
 //! memory), not thousands of small entries, and the scan happens only
 //! when the shard is already at its capacity bound.
+//!
+//! The tick source can be **shared across maps**
+//! ([`with_clock`](LruMap::with_clock)): the plan cache hands every
+//! shard the same atomic clock, so recency is comparable globally and a
+//! memory-pressure sweep can find the least-recently-used entry across
+//! all shards, not just within one.
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A bounded map that remembers insertion recency and can evict its
 /// least-recently-inserted entry.
@@ -19,17 +27,27 @@ use std::hash::Hash;
 /// a separate touch operation.
 pub(crate) struct LruMap<K, V> {
     cap: usize,
-    tick: u64,
+    clock: Arc<AtomicU64>,
     map: HashMap<K, (u64, V)>,
 }
 
 impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
     /// An empty map that [`is_full`](Self::is_full) once it holds `cap`
-    /// entries (`cap == 0` is permanently full: caching disabled).
+    /// entries (`cap == 0` is permanently full: caching disabled), with
+    /// its own private tick clock. (The cache proper always shares one
+    /// clock across shards via [`with_clock`](Self::with_clock); this
+    /// standalone constructor serves the unit tests.)
+    #[cfg(test)]
     pub fn new(cap: usize) -> Self {
+        Self::with_clock(cap, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`new`](Self::new), but stamping recency from a shared
+    /// clock, making ticks comparable across every map built on it.
+    pub fn with_clock(cap: usize, clock: Arc<AtomicU64>) -> Self {
         LruMap {
             cap,
-            tick: 0,
+            clock,
             map: HashMap::new(),
         }
     }
@@ -63,9 +81,15 @@ impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
     /// an accounting bug.
     pub fn insert(&mut self, k: K, v: V) {
         assert!(!self.is_full(), "LruMap::insert on a full map");
-        self.tick += 1;
-        let prev = self.map.insert(k, (self.tick, v));
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let prev = self.map.insert(k, (tick, v));
         assert!(prev.is_none(), "LruMap::insert over an existing key");
+    }
+
+    /// The tick of the least-recently-inserted entry, if any — lets a
+    /// global sweep compare shards without mutating them.
+    pub fn lru_tick(&self) -> Option<u64> {
+        self.map.values().map(|(tick, _)| *tick).min()
     }
 
     /// Removes and returns the least-recently-inserted entry.
@@ -113,5 +137,20 @@ mod tests {
         let mut lru = LruMap::new(1);
         lru.insert(1, 1);
         lru.insert(2, 2);
+    }
+
+    #[test]
+    fn shared_clock_orders_across_maps() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut a: LruMap<u32, u32> = LruMap::with_clock(4, clock.clone());
+        let mut b: LruMap<u32, u32> = LruMap::with_clock(4, clock);
+        a.insert(1, 1); // tick 1
+        b.insert(2, 2); // tick 2
+        a.insert(3, 3); // tick 3
+        assert!(a.lru_tick().unwrap() < b.lru_tick().unwrap());
+        assert_eq!(a.pop_lru(), Some((1, 1)));
+        // Now b holds the globally oldest entry.
+        assert!(b.lru_tick().unwrap() < a.lru_tick().unwrap());
+        assert_eq!(b.lru_tick(), Some(2));
     }
 }

@@ -4,7 +4,7 @@ use crate::cache::{CachedPlan, PlanCache};
 use unisvd_core::{PlanSignature, Svd, SvdConfig, SvdError, SvdOutput, SvdPlan};
 use unisvd_gpu::{HardwareDescriptor, MemoryLedger};
 use unisvd_matrix::Matrix;
-use unisvd_scalar::Scalar;
+use unisvd_scalar::{PrecisionKind, Scalar, F16};
 
 /// Tuning knobs for an [`SvdService`]'s plan cache.
 #[derive(Clone, Copy, Debug)]
@@ -135,37 +135,34 @@ impl SvdService {
         Svd::on(&self.hw).precision::<T>().config(*cfg)
     }
 
-    /// Checks a plan for `sig` out of the cache, or builds one.
+    /// Checks a plan for `sig` out of the cache, or builds one. The plan
+    /// stays in its cache box end to end — checkout, execute, publish —
+    /// so a warm solve moves a pointer instead of re-boxing (part of the
+    /// zero-allocation steady-state path).
     fn checkout_or_plan<T: Scalar>(
         &self,
         sig: &PlanSignature,
         cfg: &SvdConfig,
-    ) -> Result<(SvdPlan<T>, bool), SvdError> {
+    ) -> Result<(Box<SvdPlan<T>>, bool), SvdError> {
         match self.cache.checkout(sig) {
             Some(cached) => {
                 let plan = cached
                     .plan
                     .downcast::<SvdPlan<T>>()
                     .expect("a signature hit implies the cached plan's precision");
-                Ok((*plan, true))
+                Ok((plan, true))
             }
             None => {
                 let plan = self.builder::<T>(cfg).plan(sig.rows, sig.cols)?;
-                Ok((plan, false))
+                Ok((Box::new(plan), false))
             }
         }
     }
 
     /// Returns `plan` to the cache for future requests of `sig`.
-    fn publish<T: Scalar>(&self, sig: PlanSignature, plan: SvdPlan<T>) {
+    fn publish<T: Scalar>(&self, sig: PlanSignature, plan: Box<SvdPlan<T>>) {
         let bytes = plan.device_bytes();
-        self.cache.publish(
-            sig,
-            CachedPlan {
-                plan: Box::new(plan),
-                bytes,
-            },
-        );
+        self.cache.publish(sig, CachedPlan { plan, bytes });
     }
 
     /// Solves one request: computes all singular values of `a` under
@@ -185,15 +182,85 @@ impl SvdService {
     /// [`SvdError::NoConvergence`] from pathological inputs (the plan is
     /// still returned to the cache — the plan is fine, the data wasn't).
     pub fn solve<T: Scalar>(&self, a: &Matrix<T>, cfg: &SvdConfig) -> Result<SvdOutput, SvdError> {
+        let mut out = SvdOutput::empty();
+        self.solve_into(a, cfg, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`solve`](Self::solve) writing into an existing [`SvdOutput`] —
+    /// the zero-allocation steady-state serving path: a warm request
+    /// (plan resident, `out` warmed by a previous solve of the same
+    /// shape) performs **no heap allocation end to end** — checkout,
+    /// execute, publish included — which `tests/alloc_budget.rs`
+    /// enforces with a counting global allocator. Results are
+    /// bit-identical to [`solve`](Self::solve).
+    ///
+    /// # Errors
+    /// Exactly as [`solve`](Self::solve); on error `out`'s contents are
+    /// unspecified.
+    pub fn solve_into<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+        cfg: &SvdConfig,
+        out: &mut SvdOutput,
+    ) -> Result<(), SvdError> {
         let sig = self.signature::<T>(a.rows(), a.cols(), cfg);
         let (mut plan, warm) = self.checkout_or_plan::<T>(&sig, cfg)?;
-        let out = if warm {
-            plan.execute(a)
+        let res = if warm {
+            plan.execute_into(a, out)
         } else {
-            plan.execute_cold(a)
+            plan.execute_cold_into(a, out)
         };
         self.publish(sig, plan);
-        out
+        res
+    }
+
+    /// Prewarms the plan cache from a recorded signature trace: builds
+    /// and publishes a resident plan for every signature that belongs to
+    /// this service's device and is not already resident, eliminating
+    /// the cold-start miss the first live request per signature would
+    /// otherwise pay (planning + one-shot driver overhead) after a
+    /// deploy or restart. Signatures for other devices, already-resident
+    /// signatures, and shapes the device rejects (unsupported precision,
+    /// over-capacity) are skipped. Returns how many plans were built
+    /// **and are resident** afterwards — a publish the cache declined
+    /// (caching disabled, or a concurrent caller won the slot) is not
+    /// counted, so the return value is an honest readiness signal.
+    ///
+    /// Warming counts neither hits nor misses — the counters keep
+    /// describing live traffic — but published plans are subject to the
+    /// normal capacity and memory bounds (a trace longer than the cache
+    /// simply keeps its most recent tail resident).
+    pub fn warm(&self, sigs: &[PlanSignature]) -> usize {
+        let mut built = 0;
+        for sig in sigs {
+            if sig.device != self.hw.name || self.cache.contains(sig) {
+                continue;
+            }
+            built += match sig.precision {
+                PrecisionKind::Fp64 => self.warm_one::<f64>(sig),
+                PrecisionKind::Fp32 => self.warm_one::<f32>(sig),
+                PrecisionKind::Fp16 => self.warm_one::<F16>(sig),
+            };
+        }
+        built
+    }
+
+    /// Builds and publishes one plan for `sig` (already vetted for this
+    /// device); returns 1 when the plan is resident afterwards, 0 on a
+    /// plan-time rejection or a declined publish.
+    fn warm_one<T: Scalar>(&self, sig: &PlanSignature) -> usize {
+        let mut builder = self.builder::<T>(&sig.config);
+        if sig.trace_only {
+            builder = builder.trace_only();
+        }
+        match builder.plan(sig.rows, sig.cols) {
+            Ok(plan) => {
+                self.publish(*sig, Box::new(plan));
+                usize::from(self.cache.contains(sig))
+            }
+            Err(_) => 0,
+        }
     }
 
     /// Solves a batch of requests, coalescing same-signature requests

@@ -256,3 +256,126 @@ fn concurrent_mixed_workload_is_consistent() {
     assert!(stats.misses >= shapes.len() as u64);
     assert!(stats.resident_plans <= shapes.len() + stats.discards as usize);
 }
+
+#[test]
+fn warm_from_signature_trace_eliminates_cold_start_misses() {
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    // A recorded trace: two f32 shapes and one f64 shape, plus a
+    // signature for a different device (must be skipped).
+    let mut sigs = vec![
+        service.signature::<f32>(24, 24, &cfg),
+        service.signature::<f32>(32, 32, &cfg),
+        service.signature::<f64>(16, 16, &cfg),
+    ];
+    let foreign = SvdService::new(&mi250()).signature::<f32>(24, 24, &cfg);
+    sigs.push(foreign);
+    let built = service.warm(&sigs);
+    assert_eq!(built, 3, "three local signatures, one foreign skipped");
+    let stats = service.stats();
+    assert_eq!(stats.resident_plans, 3);
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 0),
+        "warming is not live traffic"
+    );
+    // Every first live request is now a hit: no cold-start misses.
+    for n in [24usize, 32] {
+        service.solve(&random_square(n, n as u64), &cfg).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(9);
+    let a64 = testmat::test_matrix::<f64, _>(16, SvDistribution::Arithmetic, false, &mut rng).0;
+    service.solve(&a64, &cfg).unwrap();
+    let stats = service.stats();
+    assert_eq!((stats.hits, stats.misses), (3, 0));
+    // Re-warming already-resident signatures builds nothing.
+    assert_eq!(service.warm(&sigs), 0);
+    // Warmed plans produce bit-identical values to a direct plan.
+    let direct = Svd::on(&h100())
+        .precision::<f32>()
+        .config(cfg)
+        .plan(24, 24)
+        .unwrap()
+        .execute(&random_square(24, 24))
+        .unwrap();
+    let served = service.solve(&random_square(24, 24), &cfg).unwrap();
+    assert_eq!(bits(&served.values), bits(&direct.values));
+}
+
+#[test]
+fn hot_plan_survives_memory_pressure_from_other_shards() {
+    // Budget sized for two resident plans; shapes hash to different
+    // shards with overwhelming probability over 8 shards. The recently
+    // used (hot) plan must survive pressure created by a third shape;
+    // the least-recently-used one goes, wherever it lives.
+    // Shapes 24/28/32 all pad to the same 32-edge f32 problem, so every
+    // plan pins the same device bytes and the budget math is exact.
+    let cfg = SvdConfig::default();
+    let probe = SvdService::new(&h100());
+    probe.solve(&random_square(24, 0), &cfg).unwrap();
+    let one_plan = probe.stats().resident_bytes;
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 8,
+            plans_per_shard: 8,
+            max_cache_bytes: Some(one_plan * 2 + one_plan / 2),
+        },
+    );
+    service.solve(&random_square(24, 1), &cfg).unwrap(); // shape A
+    service.solve(&random_square(28, 2), &cfg).unwrap(); // shape B
+    service.solve(&random_square(24, 3), &cfg).unwrap(); // A again: hot
+    let before = service.stats();
+    assert_eq!(before.resident_plans, 2);
+    // Pressure from a third shape: the global LRU (B) is evicted even
+    // though the insert happens on a different shard.
+    service.solve(&random_square(32, 4), &cfg).unwrap(); // shape C
+    let after = service.stats();
+    assert_eq!(after.evictions - before.evictions, 1);
+    assert_eq!(after.resident_plans, 2);
+    // A is still resident (hit); B was evicted (miss).
+    service.solve(&random_square(24, 5), &cfg).unwrap();
+    assert_eq!(service.stats().hits, before.hits + 1);
+    service.solve(&random_square(28, 6), &cfg).unwrap();
+    assert_eq!(service.stats().misses, before.misses + 2);
+}
+
+#[test]
+fn solve_into_reuses_output_and_matches_solve() {
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let a = random_square(28, 11);
+    let b = random_square(28, 12);
+    let reference_a = service.solve(&a, &cfg).unwrap();
+    let reference_b = service.solve(&b, &cfg).unwrap();
+    let mut out = unisvd_core::SvdOutput::empty();
+    service.solve_into(&a, &cfg, &mut out).unwrap();
+    assert_eq!(bits(&out.values), bits(&reference_a.values));
+    let ptr = out.values.as_ptr();
+    service.solve_into(&b, &cfg, &mut out).unwrap();
+    assert_eq!(bits(&out.values), bits(&reference_b.values));
+    assert_eq!(out.padded_n, reference_b.padded_n);
+    assert_eq!(
+        out.values.as_ptr(),
+        ptr,
+        "the output shell's vector must be reused, not reallocated"
+    );
+}
+
+#[test]
+fn warm_reports_zero_when_caching_is_disabled() {
+    // plans_per_shard = 0 disables caching; publish declines every plan,
+    // so warm must not claim readiness it did not achieve.
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 4,
+            plans_per_shard: 0,
+            max_cache_bytes: None,
+        },
+    );
+    let cfg = SvdConfig::default();
+    let sigs = [service.signature::<f32>(24, 24, &cfg)];
+    assert_eq!(service.warm(&sigs), 0);
+    assert_eq!(service.stats().resident_plans, 0);
+}

@@ -37,14 +37,15 @@ pub use unisvd_baselines::{
     gebrd, jacobi_svd, jacobi_svdvals, onestage_svdvals, Library, SvdFactors,
 };
 pub use unisvd_core::{
-    band_to_bidiagonal, bdsqr, bisect, dqds, svdvals, svdvals_batched, svdvals_batched_with,
-    svdvals_cost, svdvals_with, PlanError, PlanSignature, Stage3Solver, Svd, SvdConfig, SvdError,
-    SvdOutput, SvdPlan,
+    band_to_bidiagonal, band_to_bidiagonal_into, bdsqr, bdsqr_into, bisect, bisect_into, dqds,
+    dqds_into, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
+    PlanError, PlanSignature, Stage3Solver, Stage3Workspace, Svd, SvdConfig, SvdError, SvdOutput,
+    SvdPlan,
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
     BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchRecord,
-    LaunchSpec, MemoryLedger, TraceSummary, UnsupportedPrecision,
+    LaunchSpec, MemoryLedger, TraceSummary, UnsupportedPrecision, WorkgroupArena,
 };
 pub use unisvd_kernels::HyperParams;
 pub use unisvd_matrix::{

@@ -1,0 +1,243 @@
+//! Allocation-budget regression harness: a counting global allocator
+//! proves the steady-state claims of the zero-allocation execution path.
+//!
+//! * [`SvdPlan::execute_into`] performs **zero heap allocations** once
+//!   the plan's workspaces and the reused output shell have warmed up
+//!   (one solve), for every stage-3 solver.
+//! * A warm [`SvdService::solve_into`] — checkout, execute, publish —
+//!   is equally allocation-free.
+//!
+//! The cold paths (planning, first execute, the one-shot API) are *not*
+//! asserted — they legitimately allocate workspaces — but their budgets
+//! are printed as a table so a future regression is visible in test
+//! output, and coarse sanity bounds keep them from exploding silently.
+//!
+//! All phases run inside a single `#[test]` because the allocation
+//! counters are global: a sibling test running concurrently would bleed
+//! its allocations into a measurement window. The counters see every
+//! thread, so work fanned out to the work-stealing pool is measured too.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd::{Stage3Solver, Svd, SvdConfig, SvdOutput, SvdService};
+use unisvd_gpu::hw::h100;
+use unisvd_matrix::{testmat, Matrix, SvDistribution};
+
+struct CountingAlloc;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn note(bytes: usize) {
+    if TRACKING.load(Ordering::Relaxed) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the counters are plain
+// atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth is as much a steady-state violation as a fresh
+        // allocation; count the full new size.
+        note(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled; returns `(allocs, bytes)`.
+fn measure(f: impl FnOnce()) -> (u64, u64) {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+    TRACKING.store(true, Ordering::SeqCst);
+    f();
+    TRACKING.store(false, Ordering::SeqCst);
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn mats(n: usize, count: usize, dist: SvDistribution, seed: u64) -> Vec<Matrix<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| testmat::test_matrix::<f32, _>(n, dist, true, &mut rng).0)
+        .collect()
+}
+
+#[test]
+fn steady_state_allocates_zero_bytes() {
+    const N: usize = 32;
+    let inputs = mats(N, 6, SvDistribution::Logarithmic, 0xA110C);
+    // dqds's documented exception is the interior-split path (an exactly
+    // decoupled block recurses through the allocating entry point); a
+    // well-coupled arithmetic spectrum exercises its steady state.
+    let coupled = mats(N, 6, SvDistribution::Arithmetic, 0xA110D);
+    let mut budget_rows: Vec<(String, u64, u64)> = Vec::new();
+
+    // ---- SvdPlan::execute_into, every stage-3 solver -----------------
+    for solver in [
+        Stage3Solver::Bdsqr,
+        Stage3Solver::Dqds,
+        Stage3Solver::Bisect,
+    ] {
+        let inputs = if solver == Stage3Solver::Dqds {
+            &coupled
+        } else {
+            &inputs
+        };
+        let cfg = SvdConfig {
+            solver,
+            ..SvdConfig::default()
+        };
+        let mut plan = Svd::on(&h100())
+            .precision::<f32>()
+            .config(cfg)
+            .plan(N, N)
+            .unwrap();
+        let mut out = SvdOutput::empty();
+        // Warmup: grows workspaces, the output shell, trace totals, and
+        // the device arena to their steady-state footprint.
+        for a in inputs.iter().take(2) {
+            plan.execute_into(a, &mut out).unwrap();
+        }
+        let (allocs, bytes) = measure(|| {
+            for a in inputs {
+                plan.execute_into(a, &mut out).unwrap();
+            }
+        });
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "warm SvdPlan::execute_into ({solver:?}) must not allocate: \
+             {allocs} allocations / {bytes} bytes over {} solves",
+            inputs.len()
+        );
+        assert!(!out.values.is_empty(), "the measured solves ran for real");
+    }
+
+    // ---- multi-workgroup launches (work-stealing pool engaged) -------
+    // 64x64 stage-1 updates and stage-2 sweeps launch several workgroups
+    // per kernel, so the measured window crosses the thread pool: job
+    // submission, stealing, and the arena's concurrent leases must all
+    // be allocation-free too.
+    {
+        let wide = mats(64, 3, SvDistribution::Logarithmic, 0xA110E);
+        let mut plan = Svd::on(&h100()).precision::<f32>().plan(64, 64).unwrap();
+        let mut out = SvdOutput::empty();
+        plan.execute_into(&wide[0], &mut out).unwrap();
+        let (allocs, bytes) = measure(|| {
+            for a in &wide {
+                plan.execute_into(a, &mut out).unwrap();
+            }
+        });
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "warm 64x64 execute_into (multi-workgroup, {} pool threads) \
+             must not allocate",
+            unisvd::threading::current_num_threads()
+        );
+        let (leases, reuses) = plan.device().arena().stats();
+        assert!(
+            leases > reuses && reuses > 0,
+            "steady-state launches must recycle arena buffers ({leases} leases, {reuses} reuses)"
+        );
+    }
+
+    // ---- warm SvdService::solve_into ---------------------------------
+    let cfg = SvdConfig::default();
+    let service = SvdService::new(&h100());
+    let mut out = SvdOutput::empty();
+    for a in inputs.iter().take(2) {
+        service.solve_into(a, &cfg, &mut out).unwrap();
+    }
+    let (allocs, bytes) = measure(|| {
+        for a in &inputs {
+            service.solve_into(a, &cfg, &mut out).unwrap();
+        }
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "warm SvdService::solve_into must not allocate: \
+         {allocs} allocations / {bytes} bytes over {} solves",
+        inputs.len()
+    );
+    let stats = service.stats();
+    assert!(
+        stats.hits >= inputs.len() as u64,
+        "the measured window must have been all cache hits ({stats})"
+    );
+
+    // ---- cold-path budget table (informational + coarse bounds) ------
+    let (allocs, bytes) = measure(|| {
+        let plan = Svd::on(&h100())
+            .precision::<f32>()
+            .config(cfg)
+            .plan(N, N)
+            .unwrap();
+        std::hint::black_box(&plan);
+    });
+    budget_rows.push(("Svd::plan (cold)".into(), allocs, bytes));
+
+    let mut plan = Svd::on(&h100())
+        .precision::<f32>()
+        .config(cfg)
+        .plan(N, N)
+        .unwrap();
+    let mut out = SvdOutput::empty();
+    let (allocs, bytes) = measure(|| {
+        plan.execute_into(&inputs[0], &mut out).unwrap();
+    });
+    budget_rows.push(("first execute_into (warmup)".into(), allocs, bytes));
+
+    let (allocs, bytes) = measure(|| {
+        let dev = unisvd_gpu::Device::numeric(h100());
+        unisvd::svdvals_with(&inputs[0], &dev, &cfg).unwrap();
+    });
+    budget_rows.push(("one-shot svdvals_with".into(), allocs, bytes));
+
+    let service = SvdService::new(&h100());
+    let (allocs, bytes) = measure(|| {
+        service.solve(&inputs[0], &cfg).unwrap();
+    });
+    budget_rows.push(("SvdService::solve (cache miss)".into(), allocs, bytes));
+
+    println!("\ncold-path allocation budgets ({N}x{N} f32, H100):");
+    println!("  {:<34} {:>8} {:>12}", "path", "allocs", "bytes");
+    for (label, allocs, bytes) in &budget_rows {
+        println!("  {label:<34} {allocs:>8} {bytes:>12}");
+        assert!(
+            *allocs > 0,
+            "{label}: a cold path with zero allocations means the \
+             measurement window is broken"
+        );
+        assert!(
+            *allocs < 100_000 && *bytes < 256 * 1024 * 1024,
+            "{label}: cold-path budget exploded ({allocs} allocs, {bytes} bytes)"
+        );
+    }
+}
