@@ -281,6 +281,7 @@ fn fig_wallclock(c: &mut Criterion) {
             shards: 8,
             plans_per_shard: 0, // caching disabled: every request replans
             max_cache_bytes: None,
+            ..ServiceConfig::default()
         },
     );
     // Bit-identity gate: warm and cold serving agree.

@@ -37,6 +37,7 @@ use crate::bidiag_svd::{account_stage3_cost, bdsqr_into, bisect_into, Stage3Work
 use crate::dqds::dqds_into;
 use crate::svd::{resolve_params, Stage3Solver, SvdConfig, SvdError, SvdOutput};
 use std::marker::PhantomData;
+use std::sync::Mutex;
 use unisvd_gpu::{
     BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, TraceSummary,
     UnsupportedPrecision,
@@ -433,6 +434,31 @@ pub struct SvdPlan<T: Scalar> {
     buf: GlobalBuffer<T>,
     tau: GlobalBuffer<T>,
     ws: Workspace<T>,
+    batch: Mutex<BatchPool<T>>,
+}
+
+/// The retained state of the batch path: per-chunk worker plans and the
+/// chunk-bounds scratch, leased under the parent plan's mutex so warm
+/// batch executes reuse them instead of rebuilding a worker (device
+/// buffers + workspaces) per chunk per call.
+struct BatchPool<T: Scalar> {
+    workers: Vec<SvdPlan<T>>,
+    bounds: Vec<(usize, usize)>,
+}
+
+/// A raw pointer sendable across the pool's chunk tasks. Sound only
+/// because every task derived from one of these touches a disjoint
+/// element range (the batch chunk bounds partition the index space).
+struct SendPtr<P>(*mut P);
+unsafe impl<P> Send for SendPtr<P> {}
+unsafe impl<P> Sync for SendPtr<P> {}
+impl<P> SendPtr<P> {
+    /// # Safety
+    /// Standard pointer-offset rules apply, and the caller must hold
+    /// exclusive access to the target element for the borrow it creates.
+    unsafe fn add(&self, i: usize) -> *mut P {
+        self.0.add(i)
+    }
 }
 
 impl<T: Scalar> SvdPlan<T> {
@@ -446,6 +472,10 @@ impl<T: Scalar> SvdPlan<T> {
             buf,
             tau,
             ws,
+            batch: Mutex::new(BatchPool {
+                workers: Vec::new(),
+                bounds: Vec::new(),
+            }),
         }
     }
 
@@ -491,12 +521,34 @@ impl<T: Scalar> SvdPlan<T> {
     }
 
     /// Device memory this plan's buffers pin while it is alive, in bytes
-    /// (0 for trace-only plans, which allocate no data). Serving layers
-    /// charge this against a [`MemoryLedger`](unisvd_gpu::MemoryLedger)
-    /// so a cache full of plans respects the same device-capacity rule
-    /// that [`PlanError::ExceedsDeviceMemory`] enforces per plan.
+    /// (0 for trace-only plans, which allocate no data), including any
+    /// batch workers retained by
+    /// [`execute_batch_refs_into`](SvdPlan::execute_batch_refs_into).
+    /// Serving layers charge this against a
+    /// [`MemoryLedger`](unisvd_gpu::MemoryLedger) so a cache full of
+    /// plans respects the same device-capacity rule that
+    /// [`PlanError::ExceedsDeviceMemory`] enforces per plan.
     pub fn device_bytes(&self) -> u64 {
+        let pooled = self.lock_batch().workers.len() as u64;
+        self.own_device_bytes() * (1 + pooled)
+    }
+
+    /// Bytes of this plan's own device buffers, excluding pooled batch
+    /// workers (each worker pins exactly this much again).
+    fn own_device_bytes(&self) -> u64 {
         ((self.buf.len() + self.tau.len()) as u64) * T::KIND.bytes() as u64
+    }
+
+    /// Batch worker plans currently retained for reuse (0 until the
+    /// first batched execute; tests pin the no-regrowth guarantee).
+    pub fn batch_workers(&self) -> usize {
+        self.lock_batch().workers.len()
+    }
+
+    /// The batch pool, robust against a poisoned mutex: a panicking
+    /// solve on one chunk must not wedge every later batch on this plan.
+    fn lock_batch(&self) -> std::sync::MutexGuard<'_, BatchPool<T>> {
+        self.batch.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Runs one solve. The returned summary covers exactly this solve
@@ -606,10 +658,10 @@ impl<T: Scalar> SvdPlan<T> {
     ///
     /// The batch is split into contiguous chunks whose count and bounds
     /// depend only on `mats.len()` (never the thread count); each chunk
-    /// clones the plan's workspaces once and reuses them for all its
-    /// solves, and results are collected in index order — so outputs are
-    /// **bit-identical for any thread count**, preserving the pool's
-    /// determinism guarantee.
+    /// leases a worker plan from a pool retained on `self` (built once,
+    /// reused by every later batch) and results land in index order — so
+    /// outputs are **bit-identical for any thread count**, preserving
+    /// the pool's determinism guarantee.
     ///
     /// ```
     /// use unisvd_core::Svd;
@@ -637,55 +689,94 @@ impl<T: Scalar> SvdPlan<T> {
     /// scattered through a queue without copying matrix data. Identical
     /// chunking, ordering, and bit-for-bit determinism guarantees.
     pub fn execute_batch_refs(&self, mats: &[&Matrix<T>]) -> Vec<Result<SvdOutput, SvdError>> {
+        let mut outs: Vec<SvdOutput> = (0..mats.len()).map(|_| SvdOutput::empty()).collect();
+        let mut statuses: Vec<Result<(), SvdError>> = vec![Ok(()); mats.len()];
+        self.execute_batch_refs_into(mats, &mut outs, &mut statuses);
+        outs.into_iter()
+            .zip(statuses)
+            .map(|(out, status)| status.map(|()| out))
+            .collect()
+    }
+
+    /// [`execute_batch_refs`](SvdPlan::execute_batch_refs) writing into
+    /// caller-owned output shells — the zero-allocation steady state of
+    /// the batch path. `outs[i]` / `statuses[i]` receive the result of
+    /// `mats[i]`; a failed solve leaves its `Err` in `statuses[i]`
+    /// without disturbing any other request (per-request isolation).
+    /// Worker plans are leased from a pool retained on `self`, so once
+    /// the pool and the output shells have warmed up (one batch of equal
+    /// or larger size), repeated calls perform no heap allocation
+    /// (enforced by `tests/alloc_budget.rs`).
+    ///
+    /// Concurrent batch executes on one plan serialize on the pool.
+    ///
+    /// # Panics
+    /// If `outs` or `statuses` length differs from `mats`.
+    pub fn execute_batch_refs_into(
+        &self,
+        mats: &[&Matrix<T>],
+        outs: &mut [SvdOutput],
+        statuses: &mut [Result<(), SvdError>],
+    ) {
         use rayon::prelude::*;
         let len = mats.len();
+        assert_eq!(outs.len(), len, "one output shell per input matrix");
+        assert_eq!(statuses.len(), len, "one status slot per input matrix");
         if len == 0 {
-            return Vec::new();
+            return;
         }
         // At most 64 contiguous chunks, remainder spread over the leading
-        // chunks: enough splits for any realistic worker count while
-        // workspace clones stay amortized across a chunk's solves. Each
-        // chunk's worker clones the plan's device buffers, so the chunk
-        // count is additionally capped so the parent plan plus all
-        // concurrent workers together respect the device-memory budget
-        // that planning enforced for one plan (at minimum one worker
-        // runs, tolerating a 2x overshoot for plans that alone fill the
-        // budget). Count and bounds depend only on `len` and fixed plan
-        // properties — never the thread count — and results are collected
-        // in chunk order, so output order and bits are schedule-
-        // independent.
+        // chunks: enough splits for any realistic worker count while the
+        // per-chunk worker lease stays amortized across a chunk's solves.
+        // Each worker pins its own device buffers, so the chunk count is
+        // additionally capped so the parent plan plus all retained
+        // workers together respect the device-memory budget that planning
+        // enforced for one plan (at minimum one worker runs, tolerating a
+        // 2x overshoot for plans that alone fill the budget). Count and
+        // bounds depend only on `len` and fixed plan properties — never
+        // the thread count — and chunk `c` always executes on worker `c`
+        // over its fixed index range, so output order and bits are
+        // schedule-independent.
         let mem_cap = match self
             .dev
             .hw()
             .budget_bytes()
-            .checked_div(self.device_bytes())
+            .checked_div(self.own_device_bytes())
         {
             Some(slots) => slots.saturating_sub(1).max(1).min(usize::MAX as u64) as usize,
             None => usize::MAX, // trace-only: workers hold no data
         };
         let nc = len.min(64).min(mem_cap);
-        let bounds: Vec<(usize, usize)> = (0..nc)
-            .map(|c| {
-                let (base, rem) = (len / nc, len % nc);
-                let start = c * base + c.min(rem);
-                (start, start + base + usize::from(c < rem))
-            })
-            .collect();
-        let per_chunk: Vec<Vec<Result<SvdOutput, SvdError>>> = bounds
-            .par_iter()
-            .map(|&(start, end)| {
-                let mut worker = self.worker();
-                mats[start..end]
-                    .iter()
-                    .map(|&a| worker.execute(a))
-                    .collect()
-            })
-            .collect();
-        per_chunk.into_iter().flatten().collect()
+        let mut pool = self.lock_batch();
+        let BatchPool { workers, bounds } = &mut *pool;
+        while workers.len() < nc {
+            workers.push(self.worker());
+        }
+        bounds.clear();
+        bounds.extend((0..nc).map(|c| {
+            let (base, rem) = (len / nc, len % nc);
+            let start = c * base + c.min(rem);
+            (start, start + base + usize::from(c < rem))
+        }));
+        let bounds = &bounds[..];
+        let workers = SendPtr(workers.as_mut_ptr());
+        let outs = SendPtr(outs.as_mut_ptr());
+        let statuses = SendPtr(statuses.as_mut_ptr());
+        (0..nc).into_par_iter().for_each(|c| {
+            let (start, end) = bounds[c];
+            // SAFETY: chunk c is the only task touching worker c, and the
+            // bounds partition 0..len disjointly, so each out/status
+            // element is written by exactly one task.
+            let worker = unsafe { &mut *workers.add(c) };
+            for (i, mat) in mats.iter().enumerate().take(end).skip(start) {
+                let (out, status) = unsafe { (&mut *outs.add(i), &mut *statuses.add(i)) };
+                *status = worker.execute_into(mat, out);
+            }
+        });
     }
 
-    /// A private clone with its own device stream and workspaces (the
-    /// per-chunk worker of [`execute_batch`](SvdPlan::execute_batch)).
+    /// A private clone with its own device stream and workspaces — the
+    /// per-chunk worker the batch pool retains and leases out.
     fn worker(&self) -> SvdPlan<T> {
         SvdPlan::from_parts(
             Device::new(self.dev.hw().clone(), self.dev.mode()),
@@ -1149,6 +1240,66 @@ mod tests {
                 "batch result must equal sequential execute"
             );
         }
+    }
+
+    #[test]
+    fn batch_pool_retains_workers_across_calls() {
+        let mut rng = StdRng::seed_from_u64(910);
+        let mats: Vec<Matrix<f32>> = (0..7)
+            .map(|_| {
+                testmat::test_matrix::<f32, _>(16, SvDistribution::Arithmetic, false, &mut rng).0
+            })
+            .collect();
+        let plan = Svd::on(&h100()).precision::<f32>().plan(16, 16).unwrap();
+        assert_eq!(plan.batch_workers(), 0, "pool starts empty");
+        let own = plan.device_bytes();
+        let first = plan.execute_batch(&mats);
+        let grown = plan.batch_workers();
+        assert_eq!(grown, 7, "one worker per chunk of a 7-item batch");
+        assert_eq!(
+            plan.device_bytes(),
+            own * (1 + grown as u64),
+            "pooled workers pin device memory and must be accounted"
+        );
+        // Same and smaller batches reuse the pool without growth; values
+        // stay bit-identical.
+        for take in [7, 3] {
+            let again = plan.execute_batch(&mats[..take]);
+            assert_eq!(plan.batch_workers(), grown, "pool must not regrow");
+            for (a, b) in again.iter().zip(&first) {
+                assert_eq!(
+                    bits(&a.as_ref().unwrap().values),
+                    bits(&b.as_ref().unwrap().values)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_isolates_per_request_failures() {
+        // One bad request in a batch must fail alone: the other entries
+        // keep their bit-exact results.
+        let mut rng = StdRng::seed_from_u64(911);
+        let (good, _) =
+            testmat::test_matrix::<f32, _>(20, SvDistribution::Arithmetic, false, &mut rng);
+        let (good2, _) =
+            testmat::test_matrix::<f32, _>(20, SvDistribution::Logarithmic, false, &mut rng);
+        let wrong = Matrix::<f32>::identity(8);
+        let mut plan = Svd::on(&h100()).precision::<f32>().plan(20, 20).unwrap();
+        let expected = [
+            bits(&plan.execute(&good).unwrap().values),
+            bits(&plan.execute(&good2).unwrap().values),
+        ];
+        let batch = plan.execute_batch_refs(&[&good, &wrong, &good2]);
+        assert_eq!(bits(&batch[0].as_ref().unwrap().values), expected[0]);
+        assert!(matches!(
+            batch[1],
+            Err(SvdError::ShapeMismatch {
+                expected: (20, 20),
+                got: (8, 8)
+            })
+        ));
+        assert_eq!(bits(&batch[2].as_ref().unwrap().values), expected[1]);
     }
 
     #[test]

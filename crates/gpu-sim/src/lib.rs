@@ -33,6 +33,6 @@ pub use buffer::GlobalBuffer;
 pub use cost::{cost_of_launch, ExecGeometry, KernelClass, LaunchCost, LaunchSpec};
 pub use device::{Device, ExecMode};
 pub use hw::{BackendKind, Fp16Mode, HardwareDescriptor, UnsupportedPrecision};
-pub use mem::MemoryLedger;
+pub use mem::{MemoryLedger, Reservation};
 pub use trace::{ClassTotals, LaunchRecord, Trace, TraceSummary};
 pub use workgroup::{ThreadCtx, Workgroup};

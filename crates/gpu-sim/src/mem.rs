@@ -79,6 +79,22 @@ impl MemoryLedger {
         }
     }
 
+    /// [`try_reserve`](Self::try_reserve) returning a drop guard instead
+    /// of a bare `bool`: the reservation is released automatically when
+    /// the guard drops, so every early-return and panic path between
+    /// "bytes charged" and "bytes handed over to long-lived accounting"
+    /// gives the budget back. Call [`Reservation::commit`] once the
+    /// reservation's owner tracks the bytes itself (e.g. a cache insert
+    /// that will `release` on eviction).
+    pub fn try_reserve_guard(&self, bytes: u64) -> Option<Reservation<'_>> {
+        // `then`, not `then_some`: the guard must only ever exist for a
+        // reservation that actually happened (its Drop releases).
+        self.try_reserve(bytes).then(|| Reservation {
+            ledger: self,
+            bytes,
+        })
+    }
+
     /// Returns a prior reservation of `bytes`. Releasing more than is
     /// reserved clamps to zero (a caller accounting bug, but one that
     /// must not wrap the gauge into nonsense).
@@ -93,6 +109,43 @@ impl MemoryLedger {
                 Ok(_) => return,
                 Err(observed) => cur = observed,
             }
+        }
+    }
+}
+
+/// A held [`MemoryLedger`] reservation that releases itself on drop.
+///
+/// Obtained from [`MemoryLedger::try_reserve_guard`]. The guard exists to
+/// make reservation leaks structurally impossible: failure paths that
+/// abandon a half-done admission (a cache slot raced away, a plan build
+/// failed, a solve panicked) return their bytes by simply dropping the
+/// guard, instead of every such path remembering to call
+/// [`MemoryLedger::release`].
+#[derive(Debug)]
+#[must_use = "dropping immediately releases the reservation"]
+pub struct Reservation<'a> {
+    ledger: &'a MemoryLedger,
+    bytes: u64,
+}
+
+impl Reservation<'_> {
+    /// Bytes this reservation holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Consumes the guard *without* releasing: ownership of the bytes
+    /// passes to the caller's own accounting, which must eventually
+    /// [`MemoryLedger::release`] them (e.g. on cache eviction).
+    pub fn commit(mut self) {
+        self.bytes = 0;
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            self.ledger.release(self.bytes);
         }
     }
 }
@@ -125,6 +178,30 @@ mod tests {
         assert!(!hw.fits(budget + budget / 100));
         let ledger = MemoryLedger::for_device(&hw);
         assert_eq!(ledger.budget(), budget);
+    }
+
+    #[test]
+    fn reservation_guard_releases_on_drop_and_not_on_commit() {
+        let ledger = MemoryLedger::new(100);
+        {
+            let g = ledger.try_reserve_guard(60).unwrap();
+            assert_eq!(ledger.used(), 60);
+            assert_eq!(g.bytes(), 60);
+            assert!(ledger.try_reserve_guard(50).is_none(), "over budget");
+        } // dropped without commit: released
+        assert_eq!(ledger.used(), 0);
+        let g = ledger.try_reserve_guard(70).unwrap();
+        g.commit(); // ownership handed over: stays reserved
+        assert_eq!(ledger.used(), 70);
+        ledger.release(70);
+        assert_eq!(ledger.used(), 0);
+        // A panic while holding the guard must release too.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = ledger.try_reserve_guard(30).unwrap();
+            panic!("solve failed");
+        }));
+        assert!(r.is_err());
+        assert_eq!(ledger.used(), 0, "panic path must return the bytes");
     }
 
     #[test]

@@ -17,7 +17,15 @@
 //!   counters ([`CacheStats`]);
 //! * **request coalescing** — [`SvdService::solve_batch`] groups
 //!   same-signature requests into one `execute_batch` fan-out on the
-//!   host work-stealing pool.
+//!   host work-stealing pool;
+//! * **asynchronous serving** — [`SvdService::submit`] enqueues a
+//!   request and returns a [`Ticket`] immediately; a drainer thread
+//!   coalesces same-signature submissions from *different* callers
+//!   (held open for a short arrival window) into one batched execute,
+//!   with typed admission backpressure
+//!   ([`ServiceError::QueueFull`] / [`ServiceError::Shedding`]) when
+//!   the queue depth or device-memory headroom saturates
+//!   ([`QueueStats`] counts it all).
 //!
 //! The cardinal invariant, inherited from the core and preserved here:
 //! singular values served through the cache are **bit-identical** to
@@ -46,9 +54,12 @@
 
 mod cache;
 mod lru;
+mod queue;
 mod service;
+mod ticket;
 
-pub use service::{CacheStats, ServiceConfig, SvdService};
+pub use service::{CacheStats, QueueStats, ServiceConfig, ServiceError, SvdService};
+pub use ticket::Ticket;
 
 // Re-exported so service callers can name the cache key and the plan
 // type without a separate unisvd_core dependency.

@@ -1,0 +1,236 @@
+//! The bounded submission queue behind
+//! [`SvdService::submit`](crate::SvdService::submit), and the coalescing
+//! pop the drainer thread runs.
+//!
+//! FIFO with two twists:
+//!
+//! * **bounded admission** — [`try_push`](SubmitQueue::try_push) refuses
+//!   entries past a depth bound instead of growing without limit, which
+//!   is the `QueueFull` backpressure signal of the service;
+//! * **signature-coalescing pop** — [`next_batch`](SubmitQueue::next_batch)
+//!   takes the head entry's [`PlanSignature`] and gathers every queued
+//!   same-signature request (holding the batch open for a short arrival
+//!   window) so requests from *different* callers execute as one batched
+//!   fan-out. Extraction preserves arrival order within the signature,
+//!   which keeps ticket resolution order deterministic.
+
+use crate::ticket::TicketResolver;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use unisvd_core::PlanSignature;
+
+/// One submitted, not-yet-executed request.
+pub(crate) struct Pending {
+    /// The cache key — also the coalescing key.
+    pub sig: PlanSignature,
+    /// The type-erased `Matrix<T>`; `sig.precision` encodes `T`, so the
+    /// drainer's downcast is infallible by construction.
+    pub mat: Box<dyn Any + Send>,
+    /// Resolves the submitter's ticket.
+    pub resolver: TicketResolver,
+}
+
+struct Inner {
+    entries: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+pub(crate) struct SubmitQueue {
+    inner: Mutex<Inner>,
+    /// Signaled on every push and on shutdown.
+    arrived: Condvar,
+}
+
+impl SubmitQueue {
+    pub fn new() -> Self {
+        SubmitQueue {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                shutdown: false,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends `p` unless the queue already holds `max_depth` entries;
+    /// returns whether it was accepted. The depth check and the append
+    /// are one critical section, so concurrent submitters can never
+    /// overshoot the bound.
+    pub fn try_push(&self, p: Pending, max_depth: usize) -> bool {
+        {
+            let mut g = self.lock();
+            if g.entries.len() >= max_depth.max(1) {
+                return false;
+            }
+            g.entries.push_back(p);
+        }
+        self.arrived.notify_all();
+        true
+    }
+
+    /// Entries currently queued.
+    #[cfg(test)]
+    pub fn depth(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Wakes the drainer for a final sweep; `next_batch` keeps returning
+    /// batches until the queue is empty, then reports exhaustion — no
+    /// accepted entry is ever dropped unresolved by an orderly shutdown.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.arrived.notify_all();
+    }
+
+    /// Blocks until at least one entry is queued, then fills `batch`
+    /// with up to `max_coalesce` entries carrying the head's signature,
+    /// in arrival order — holding the batch open up to `window` for
+    /// same-signature stragglers (closing early once `max_coalesce` is
+    /// reached, or on shutdown). Returns `false` only when the queue is
+    /// empty *and* shut down.
+    pub fn next_batch(
+        &self,
+        window: Duration,
+        max_coalesce: usize,
+        batch: &mut Vec<Pending>,
+    ) -> bool {
+        batch.clear();
+        let max_coalesce = max_coalesce.max(1);
+        let mut g = self.lock();
+        while g.entries.is_empty() {
+            if g.shutdown {
+                return false;
+            }
+            g = self.arrived.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        let sig = g.entries[0].sig;
+        if window > Duration::ZERO {
+            let deadline = Instant::now() + window;
+            loop {
+                let same = g.entries.iter().filter(|p| p.sig == sig).count();
+                if same >= max_coalesce || g.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, result) = self
+                    .arrived
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
+                if result.timed_out() {
+                    break;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < g.entries.len() && batch.len() < max_coalesce {
+            if g.entries[i].sig == sig {
+                batch.push(g.entries.remove(i).expect("index in range"));
+            } else {
+                i += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::ticket_pair;
+    use unisvd_core::SvdConfig;
+    use unisvd_gpu::BackendKind;
+    use unisvd_scalar::PrecisionKind;
+
+    fn sig(rows: usize) -> PlanSignature {
+        PlanSignature {
+            device: "test",
+            backend: BackendKind::Cuda,
+            precision: PrecisionKind::Fp32,
+            rows,
+            cols: rows,
+            config: SvdConfig::default(),
+            trace_only: false,
+        }
+    }
+
+    fn pending(rows: usize) -> Pending {
+        let (_, resolver) = ticket_pair();
+        Pending {
+            sig: sig(rows),
+            mat: Box::new(()),
+            resolver,
+        }
+    }
+
+    #[test]
+    fn depth_bound_is_exact() {
+        let q = SubmitQueue::new();
+        assert!(q.try_push(pending(8), 2));
+        assert!(q.try_push(pending(8), 2));
+        assert!(!q.try_push(pending(8), 2), "third entry exceeds depth 2");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn next_batch_coalesces_same_signature_in_order() {
+        let q = SubmitQueue::new();
+        // Interleave two signatures; the first batch must take exactly
+        // the head-signature entries, preserving their order.
+        for rows in [8, 16, 8, 8, 16] {
+            assert!(q.try_push(pending(rows), 100));
+        }
+        let mut batch = Vec::new();
+        assert!(q.next_batch(Duration::ZERO, 64, &mut batch));
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|p| p.sig == sig(8)));
+        assert_eq!(q.depth(), 2);
+        assert!(q.next_batch(Duration::ZERO, 64, &mut batch));
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|p| p.sig == sig(16)));
+        // Cap: a bound of 1 splits a same-signature run.
+        assert!(q.try_push(pending(8), 100));
+        assert!(q.try_push(pending(8), 100));
+        assert!(q.next_batch(Duration::ZERO, 1, &mut batch));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_then_reports_exhaustion() {
+        let q = SubmitQueue::new();
+        assert!(q.try_push(pending(8), 100));
+        q.shutdown();
+        let mut batch = Vec::new();
+        assert!(
+            q.next_batch(Duration::from_millis(50), 64, &mut batch),
+            "queued work survives shutdown"
+        );
+        assert_eq!(batch.len(), 1);
+        assert!(!q.next_batch(Duration::ZERO, 64, &mut batch));
+    }
+
+    #[test]
+    fn window_waits_for_stragglers() {
+        let q = SubmitQueue::new();
+        assert!(q.try_push(pending(8), 100));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                assert!(q.try_push(pending(8), 100));
+            });
+            let mut batch = Vec::new();
+            assert!(q.next_batch(Duration::from_millis(500), 2, &mut batch));
+            assert_eq!(batch.len(), 2, "the straggler joined the batch");
+        });
+    }
+}

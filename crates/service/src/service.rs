@@ -1,12 +1,18 @@
 //! [`SvdService`]: the request-facing serving layer.
 
 use crate::cache::{CachedPlan, PlanCache};
+use crate::queue::{Pending, SubmitQueue};
+use crate::ticket::{ticket_pair, Ticket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 use unisvd_core::{PlanSignature, Svd, SvdConfig, SvdError, SvdOutput, SvdPlan};
 use unisvd_gpu::{HardwareDescriptor, MemoryLedger};
 use unisvd_matrix::Matrix;
 use unisvd_scalar::{PrecisionKind, Scalar, F16};
 
-/// Tuning knobs for an [`SvdService`]'s plan cache.
+/// Tuning knobs for an [`SvdService`]'s plan cache and submission queue.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Number of independently locked cache shards (`0` is clamped to
@@ -22,6 +28,25 @@ pub struct ServiceConfig {
     /// uses the device's full budget (memory net of the 25% workspace
     /// headroom — the same rule behind `PlanError::ExceedsDeviceMemory`).
     pub max_cache_bytes: Option<u64>,
+    /// Submission-queue depth bound: [`submit`](SvdService::submit)
+    /// returns [`ServiceError::QueueFull`] once this many requests are
+    /// queued unexecuted (`0` is clamped to 1). Default 1024.
+    pub max_queue_depth: usize,
+    /// How long the drainer holds a batch open for further
+    /// same-signature arrivals after the first — the coalescing window.
+    /// `Duration::ZERO` batches only what is already queued. Default
+    /// 200 µs.
+    pub coalesce_window: Duration,
+    /// Most requests coalesced into one batched execute (`0` is clamped
+    /// to 1). Default 64, matching the batch executor's chunk bound.
+    pub max_coalesce: usize,
+    /// Admission floor on device-memory headroom: a submission whose
+    /// plan is *not* resident (it may need new device memory) is refused
+    /// with [`ServiceError::Shedding`] while the cache ledger's
+    /// available bytes are below this. Resident-signature requests are
+    /// always admitted — they need no new memory. `0` (the default)
+    /// disables shedding.
+    pub shed_headroom_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -30,9 +55,52 @@ impl Default for ServiceConfig {
             shards: 8,
             plans_per_shard: 32,
             max_cache_bytes: None,
+            max_queue_depth: 1024,
+            coalesce_window: Duration::from_micros(200),
+            max_coalesce: 64,
+            shed_headroom_bytes: 0,
         }
     }
 }
+
+/// Typed backpressure from [`SvdService::submit`]: the request was
+/// refused *at admission* — nothing was queued, no ticket exists, and
+/// the caller should retry later or divert load.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The submission queue is at its depth bound
+    /// ([`ServiceConfig::max_queue_depth`]): the drainer is not keeping
+    /// up with arrivals.
+    QueueFull {
+        /// The configured depth bound that was hit.
+        depth: usize,
+    },
+    /// Device-memory headroom is below the admission floor
+    /// ([`ServiceConfig::shed_headroom_bytes`]) and this request's plan
+    /// is not resident, so serving it could need memory the device
+    /// cannot spare.
+    Shedding {
+        /// Ledger bytes still available when the request was refused.
+        available_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull { depth } => {
+                write!(f, "submission queue full ({depth} requests pending)")
+            }
+            ServiceError::Shedding { available_bytes } => write!(
+                f,
+                "shedding non-resident request ({available_bytes} bytes of headroom left)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// A point-in-time snapshot of the cache's behavior counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +115,10 @@ pub struct CacheStats {
     /// returned first, caching is disabled, or the plan alone exceeds
     /// the memory budget.
     pub discards: u64,
+    /// Requests that returned an error (per request, not per batch: one
+    /// failing request in a coalesced group counts once and the others
+    /// not at all).
+    pub failures: u64,
     /// Plans currently resident.
     pub resident_plans: usize,
     /// Device bytes currently pinned by resident plans.
@@ -57,15 +129,57 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses, {} evictions, {} discards, {} resident ({} bytes)",
+            "{} hits / {} misses, {} evictions, {} discards, {} failures, {} resident ({} bytes)",
             self.hits,
             self.misses,
             self.evictions,
             self.discards,
+            self.failures,
             self.resident_plans,
             self.resident_bytes
         )
     }
+}
+
+/// A point-in-time snapshot of the submission queue's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests accepted by [`submit`](SvdService::submit).
+    pub submitted: u64,
+    /// Submissions refused with [`ServiceError::QueueFull`].
+    pub rejected: u64,
+    /// Submissions refused with [`ServiceError::Shedding`].
+    pub shed: u64,
+    /// Batches the drainer executed.
+    pub batches: u64,
+    /// Requests that rode along in a batch behind its first request —
+    /// `submitted - batches` once the queue is drained; the direct
+    /// measure of cross-caller coalescing.
+    pub coalesced: u64,
+}
+
+impl std::fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submitted ({} rejected, {} shed), {} batches, {} coalesced",
+            self.submitted, self.rejected, self.shed, self.batches, self.coalesced
+        )
+    }
+}
+
+/// Everything the drainer thread shares with the request-facing handle.
+struct Inner {
+    hw: HardwareDescriptor,
+    cache: PlanCache,
+    knobs: ServiceConfig,
+    queue: SubmitQueue,
+    failures: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// A concurrent SVD serving layer over one (simulated) device.
@@ -76,10 +190,20 @@ impl std::fmt::Display for CacheStats {
 /// re-planning — the FFTW-plan / cuSOLVER-handle amortization argument
 /// applied across requests instead of within one caller.
 ///
+/// Two entry styles share that cache:
+///
+/// * **blocking** — [`solve`](Self::solve) /
+///   [`solve_batch`](Self::solve_batch) execute on the caller's thread;
+/// * **asynchronous** — [`submit`](Self::submit) enqueues the request
+///   and returns a [`Ticket`] immediately; a drainer thread coalesces
+///   same-signature submissions from *different* callers into one
+///   batched fan-out on the work-stealing pool, with typed backpressure
+///   ([`ServiceError`]) at admission.
+///
 /// Shared by reference across threads (`&self` methods only); see
 /// [`solve`](Self::solve) for the checkout/return protocol. Results are
 /// **bit-identical** to driving an [`SvdPlan`] directly, for every
-/// cached/uncached path and any thread count.
+/// cached/uncached, blocking/async path and any thread count.
 ///
 /// ```
 /// use unisvd_gpu::hw;
@@ -94,11 +218,17 @@ impl std::fmt::Display for CacheStats {
 /// let warm = service.solve(&a, &cfg)?; // reuses it
 /// assert_eq!(cold.values, warm.values);
 /// assert_eq!(service.stats().hits, 1);
+/// // Async: same results through a ticket.
+/// let ticket = service.submit(a.clone(), &cfg).expect("admitted");
+/// assert_eq!(ticket.wait()?.values, warm.values);
 /// # Ok::<(), unisvd_core::SvdError>(())
 /// ```
 pub struct SvdService {
-    hw: HardwareDescriptor,
-    cache: PlanCache,
+    inner: Arc<Inner>,
+    /// The drainer thread, spawned lazily on first
+    /// [`submit`](Self::submit) so blocking-only services never start
+    /// one; joined (after an orderly queue drain) on drop.
+    drainer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl SvdService {
@@ -111,58 +241,35 @@ impl SvdService {
     pub fn with_config(hw: &HardwareDescriptor, cfg: ServiceConfig) -> Self {
         let budget = cfg.max_cache_bytes.unwrap_or_else(|| hw.budget_bytes());
         SvdService {
-            hw: hw.clone(),
-            cache: PlanCache::new(
-                cfg.shards.max(1),
-                cfg.plans_per_shard,
-                MemoryLedger::new(budget),
-            ),
+            inner: Arc::new(Inner {
+                hw: hw.clone(),
+                cache: PlanCache::new(
+                    cfg.shards.max(1),
+                    cfg.plans_per_shard,
+                    MemoryLedger::new(budget),
+                ),
+                knobs: cfg,
+                queue: SubmitQueue::new(),
+                failures: AtomicU64::new(0),
+                submitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+            }),
+            drainer: Mutex::new(None),
         }
     }
 
     /// The device this service solves on.
     pub fn hw(&self) -> &HardwareDescriptor {
-        &self.hw
+        &self.inner.hw
     }
 
     /// The signature under which a request for this shape/precision/
     /// configuration is cached.
     pub fn signature<T: Scalar>(&self, rows: usize, cols: usize, cfg: &SvdConfig) -> PlanSignature {
-        self.builder::<T>(cfg).signature(rows, cols)
-    }
-
-    fn builder<T: Scalar>(&self, cfg: &SvdConfig) -> Svd<T> {
-        Svd::on(&self.hw).precision::<T>().config(*cfg)
-    }
-
-    /// Checks a plan for `sig` out of the cache, or builds one. The plan
-    /// stays in its cache box end to end — checkout, execute, publish —
-    /// so a warm solve moves a pointer instead of re-boxing (part of the
-    /// zero-allocation steady-state path).
-    fn checkout_or_plan<T: Scalar>(
-        &self,
-        sig: &PlanSignature,
-        cfg: &SvdConfig,
-    ) -> Result<(Box<SvdPlan<T>>, bool), SvdError> {
-        match self.cache.checkout(sig) {
-            Some(cached) => {
-                let plan = cached
-                    .plan
-                    .downcast::<SvdPlan<T>>()
-                    .expect("a signature hit implies the cached plan's precision");
-                Ok((plan, true))
-            }
-            None => {
-                let plan = self.builder::<T>(cfg).plan(sig.rows, sig.cols)?;
-                Ok((Box::new(plan), false))
-            }
-        }
-    }
-
-    /// Returns `plan` to the cache for future requests of `sig`.
-    fn publish<T: Scalar>(&self, sig: PlanSignature, plan: Box<SvdPlan<T>>) {
-        let bytes = plan.device_bytes();
-        self.cache.publish(sig, CachedPlan { plan, bytes });
+        self.inner.builder::<T>(cfg).signature(rows, cols)
     }
 
     /// Solves one request: computes all singular values of `a` under
@@ -204,15 +311,71 @@ impl SvdService {
         cfg: &SvdConfig,
         out: &mut SvdOutput,
     ) -> Result<(), SvdError> {
+        self.inner.solve_into(a, cfg, out)
+    }
+
+    /// Enqueues one request and returns a [`Ticket`] for its result —
+    /// the non-blocking entry point. A drainer thread (started on the
+    /// first submission) pops the queue, **coalesces every queued
+    /// same-signature request — from any caller — into one batched
+    /// execute** ([`SvdPlan::execute_batch_refs_into`] fan-out on the
+    /// work-stealing pool, held open for
+    /// [`ServiceConfig::coalesce_window`]), and resolves the tickets in
+    /// arrival order. [`Ticket::wait`] returns exactly what
+    /// [`solve`](Self::solve) would have: bit-identical values, and
+    /// per-request errors that never poison the rest of a batch.
+    ///
+    /// # Errors
+    /// Admission backpressure only — [`ServiceError::QueueFull`] when
+    /// the queue is at [`ServiceConfig::max_queue_depth`], and
+    /// [`ServiceError::Shedding`] when device-memory headroom is below
+    /// [`ServiceConfig::shed_headroom_bytes`] and no plan for this
+    /// signature is resident. On `Err` nothing was enqueued (the matrix
+    /// is dropped); solve-time errors arrive through the ticket instead.
+    pub fn submit<T: Scalar>(&self, a: Matrix<T>, cfg: &SvdConfig) -> Result<Ticket, ServiceError> {
+        let inner = &self.inner;
         let sig = self.signature::<T>(a.rows(), a.cols(), cfg);
-        let (mut plan, warm) = self.checkout_or_plan::<T>(&sig, cfg)?;
-        let res = if warm {
-            plan.execute_into(a, out)
-        } else {
-            plan.execute_cold_into(a, out)
+        if inner.knobs.shed_headroom_bytes > 0 && !inner.cache.contains(&sig) {
+            // The request may need new device memory; refuse while the
+            // ledger is too close to its budget. (Benign races with
+            // concurrent publishes make this a heuristic floor, not an
+            // exact gate — admission errs a request early or late, never
+            // wrongly executes one.)
+            let available_bytes = inner.cache.available_bytes();
+            if available_bytes < inner.knobs.shed_headroom_bytes {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Shedding { available_bytes });
+            }
+        }
+        let (ticket, resolver) = ticket_pair();
+        let pending = Pending {
+            sig,
+            mat: Box::new(a),
+            resolver,
         };
-        self.publish(sig, plan);
-        res
+        if !inner.queue.try_push(pending, inner.knobs.max_queue_depth) {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::QueueFull {
+                depth: inner.knobs.max_queue_depth,
+            });
+        }
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.ensure_drainer();
+        Ok(ticket)
+    }
+
+    /// Spawns the drainer thread if it is not running yet.
+    fn ensure_drainer(&self) {
+        let mut slot = self.drainer.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            let inner = self.inner.clone();
+            *slot = Some(
+                std::thread::Builder::new()
+                    .name("svd-service-drainer".into())
+                    .spawn(move || inner.drain_loop())
+                    .expect("spawning the drainer thread"),
+            );
+        }
     }
 
     /// Prewarms the plan cache from a recorded signature trace: builds
@@ -234,16 +397,165 @@ impl SvdService {
     pub fn warm(&self, sigs: &[PlanSignature]) -> usize {
         let mut built = 0;
         for sig in sigs {
-            if sig.device != self.hw.name || self.cache.contains(sig) {
+            if sig.device != self.inner.hw.name || self.inner.cache.contains(sig) {
                 continue;
             }
             built += match sig.precision {
-                PrecisionKind::Fp64 => self.warm_one::<f64>(sig),
-                PrecisionKind::Fp32 => self.warm_one::<f32>(sig),
-                PrecisionKind::Fp16 => self.warm_one::<F16>(sig),
+                PrecisionKind::Fp64 => self.inner.warm_one::<f64>(sig),
+                PrecisionKind::Fp32 => self.inner.warm_one::<f32>(sig),
+                PrecisionKind::Fp16 => self.inner.warm_one::<F16>(sig),
             };
         }
         built
+    }
+
+    /// Solves a batch of requests, coalescing same-signature requests
+    /// into [`SvdPlan::execute_batch_refs`] calls that fan out on the
+    /// host work-stealing pool — one plan checkout (or build) per
+    /// distinct shape instead of per request.
+    ///
+    /// Each group's first request runs on the checked-out plan itself
+    /// (reusing its workspaces; on a miss it accounts the one-shot
+    /// driver cost exactly like [`solve`](Self::solve)); the rest of the
+    /// group fans out over pooled per-chunk workers. Results are
+    /// returned in request order and are bit-identical to calling
+    /// [`solve`](Self::solve) per request, for any thread count: groups
+    /// are formed in first-seen order by shape, and the batched
+    /// executor's chunking depends only on group sizes.
+    ///
+    /// Errors are **per request**: a failing solve (or a group whose
+    /// plan cannot be built) leaves every other request's result intact.
+    pub fn solve_batch<T: Scalar>(
+        &self,
+        mats: &[Matrix<T>],
+        cfg: &SvdConfig,
+    ) -> Vec<Result<SvdOutput, SvdError>> {
+        self.inner.solve_batch(mats, cfg)
+    }
+
+    /// A snapshot of the cache counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let inner = &self.inner;
+        let (hits, misses, evictions, discards) = inner.cache.counter_values();
+        let (resident_plans, resident_bytes) = inner.cache.resident();
+        CacheStats {
+            hits,
+            misses,
+            evictions,
+            discards,
+            failures: inner.failures.load(Ordering::Relaxed),
+            resident_plans,
+            resident_bytes,
+        }
+    }
+
+    /// A snapshot of the submission queue's counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        let inner = &self.inner;
+        QueueStats {
+            submitted: inner.submitted.load(Ordering::Relaxed),
+            rejected: inner.rejected.load(Ordering::Relaxed),
+            shed: inner.shed.load(Ordering::Relaxed),
+            batches: inner.batches.load(Ordering::Relaxed),
+            coalesced: inner.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The device-memory budget resident plans must fit in, bytes.
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.inner.cache.budget_bytes()
+    }
+}
+
+impl Drop for SvdService {
+    fn drop(&mut self) {
+        // Orderly shutdown: the drainer finishes every queued request
+        // (resolving its ticket) before exiting, so dropping the service
+        // never strands an accepted submission.
+        self.inner.queue.shutdown();
+        let handle = self
+            .drainer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SvdService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SvdService({}, {})", self.inner.hw.name, self.stats())
+    }
+}
+
+impl Inner {
+    fn builder<T: Scalar>(&self, cfg: &SvdConfig) -> Svd<T> {
+        Svd::on(&self.hw).precision::<T>().config(*cfg)
+    }
+
+    /// Checks a plan for `sig` out of the cache, or builds one. The plan
+    /// stays in its cache box end to end — checkout, execute, publish —
+    /// so a warm solve moves a pointer instead of re-boxing (part of the
+    /// zero-allocation steady-state path).
+    fn checkout_or_plan<T: Scalar>(
+        &self,
+        sig: &PlanSignature,
+        cfg: &SvdConfig,
+    ) -> Result<(Box<SvdPlan<T>>, bool), SvdError> {
+        match self.cache.checkout(sig) {
+            Some(cached) => {
+                let plan = cached
+                    .plan
+                    .downcast::<SvdPlan<T>>()
+                    .expect("a signature hit implies the cached plan's precision");
+                Ok((plan, true))
+            }
+            None => {
+                let plan = self.builder::<T>(cfg).plan(sig.rows, sig.cols)?;
+                Ok((Box::new(plan), false))
+            }
+        }
+    }
+
+    /// Returns `plan` to the cache for future requests of `sig`.
+    fn publish<T: Scalar>(&self, sig: PlanSignature, plan: Box<SvdPlan<T>>) {
+        let bytes = plan.device_bytes();
+        self.cache.publish(sig, CachedPlan { plan, bytes });
+    }
+
+    /// Counts `n` per-request failures (see [`CacheStats::failures`]).
+    fn record_failures(&self, n: usize) {
+        if n > 0 {
+            self.failures.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn solve_into<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+        cfg: &SvdConfig,
+        out: &mut SvdOutput,
+    ) -> Result<(), SvdError> {
+        let sig = self.builder::<T>(cfg).signature(a.rows(), a.cols());
+        let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, cfg) {
+            Ok(found) => found,
+            Err(e) => {
+                self.record_failures(1);
+                return Err(e);
+            }
+        };
+        let res = if warm {
+            plan.execute_into(a, out)
+        } else {
+            plan.execute_cold_into(a, out)
+        };
+        self.publish(sig, plan);
+        if res.is_err() {
+            self.record_failures(1);
+        }
+        res
     }
 
     /// Builds and publishes one plan for `sig` (already vetted for this
@@ -263,20 +575,7 @@ impl SvdService {
         }
     }
 
-    /// Solves a batch of requests, coalescing same-signature requests
-    /// into [`SvdPlan::execute_batch_refs`] calls that fan out on the
-    /// host work-stealing pool — one plan checkout (or build) per
-    /// distinct shape instead of per request.
-    ///
-    /// Each group's first request runs on the checked-out plan itself
-    /// (reusing its workspaces; on a miss it accounts the one-shot
-    /// driver cost exactly like [`solve`](Self::solve)); the rest of the
-    /// group fans out over per-chunk workers. Results are returned in
-    /// request order and are bit-identical to calling
-    /// [`solve`](Self::solve) per request, for any thread count: groups
-    /// are formed in first-seen order by shape, and the batched
-    /// executor's chunking depends only on group sizes.
-    pub fn solve_batch<T: Scalar>(
+    fn solve_batch<T: Scalar>(
         &self,
         mats: &[Matrix<T>],
         cfg: &SvdConfig,
@@ -294,10 +593,14 @@ impl SvdService {
         let mut results: Vec<Option<Result<SvdOutput, SvdError>>> =
             mats.iter().map(|_| None).collect();
         for ((rows, cols), idxs) in groups {
-            let sig = self.signature::<T>(rows, cols, cfg);
+            let sig = self.builder::<T>(cfg).signature(rows, cols);
             let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, cfg) {
                 Ok(found) => found,
                 Err(e) => {
+                    // A plan-time rejection is inherently group-wide (the
+                    // whole group shares the failing signature) — but it
+                    // stays *within* the group: other groups' results are
+                    // untouched.
                     for i in idxs {
                         results[i] = Some(Err(e.clone()));
                     }
@@ -322,34 +625,89 @@ impl SvdService {
             }
             self.publish(sig, plan);
         }
-        results
+        let results: Vec<Result<SvdOutput, SvdError>> = results
             .into_iter()
             .map(|r| r.expect("every request index belongs to exactly one group"))
-            .collect()
+            .collect();
+        self.record_failures(results.iter().filter(|r| r.is_err()).count());
+        results
     }
 
-    /// A snapshot of the cache counters and residency.
-    pub fn stats(&self) -> CacheStats {
-        let (hits, misses, evictions, discards) = self.cache.counter_values();
-        let (resident_plans, resident_bytes) = self.cache.resident();
-        CacheStats {
-            hits,
-            misses,
-            evictions,
-            discards,
-            resident_plans,
-            resident_bytes,
+    /// The drainer thread's main loop: pop coalesced same-signature
+    /// batches until the queue is drained *and* shut down. Batch
+    /// assembly buffers are reused across iterations.
+    fn drain_loop(&self) {
+        let mut batch: Vec<Pending> = Vec::new();
+        let mut outs: Vec<SvdOutput> = Vec::new();
+        let mut statuses: Vec<Result<(), SvdError>> = Vec::new();
+        while self.queue.next_batch(
+            self.knobs.coalesce_window,
+            self.knobs.max_coalesce,
+            &mut batch,
+        ) {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.coalesced
+                .fetch_add(batch.len().saturating_sub(1) as u64, Ordering::Relaxed);
+            match batch[0].sig.precision {
+                PrecisionKind::Fp64 => self.run_group::<f64>(&mut batch, &mut outs, &mut statuses),
+                PrecisionKind::Fp32 => self.run_group::<f32>(&mut batch, &mut outs, &mut statuses),
+                PrecisionKind::Fp16 => self.run_group::<F16>(&mut batch, &mut outs, &mut statuses),
+            }
         }
     }
 
-    /// The device-memory budget resident plans must fit in, bytes.
-    pub fn cache_budget_bytes(&self) -> u64 {
-        self.cache.budget_bytes()
-    }
-}
-
-impl std::fmt::Debug for SvdService {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SvdService({}, {})", self.hw.name, self.stats())
+    /// Executes one coalesced same-signature batch and resolves its
+    /// tickets in arrival order. Mirrors `solve_batch`'s group body: the
+    /// first request runs on the checked-out plan (cold driver cost on a
+    /// miss), the rest fan out through the plan's pooled batch workers;
+    /// failures are per request.
+    fn run_group<T: Scalar>(
+        &self,
+        batch: &mut Vec<Pending>,
+        outs: &mut Vec<SvdOutput>,
+        statuses: &mut Vec<Result<(), SvdError>>,
+    ) {
+        let sig = batch[0].sig;
+        let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, &sig.config) {
+            Ok(found) => found,
+            Err(e) => {
+                self.record_failures(batch.len());
+                for p in batch.drain(..) {
+                    p.resolver.resolve(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        let n = batch.len();
+        outs.clear();
+        outs.resize_with(n, SvdOutput::empty);
+        statuses.clear();
+        statuses.resize(n, Ok(()));
+        // The drain loop checked `sig.precision == T::KIND` dispatching
+        // here, and every batch entry shares `sig`, so the downcasts are
+        // infallible.
+        fn matrix_of<T: Scalar>(p: &Pending) -> &Matrix<T> {
+            p.mat
+                .downcast_ref::<Matrix<T>>()
+                .expect("a batch signature encodes its matrices' precision")
+        }
+        statuses[0] = if warm {
+            plan.execute_into(matrix_of(&batch[0]), &mut outs[0])
+        } else {
+            plan.execute_cold_into(matrix_of(&batch[0]), &mut outs[0])
+        };
+        if n > 1 {
+            let refs: Vec<&Matrix<T>> = batch[1..].iter().map(matrix_of).collect();
+            plan.execute_batch_refs_into(&refs, &mut outs[1..], &mut statuses[1..]);
+        }
+        self.publish(sig, plan);
+        self.record_failures(statuses.iter().filter(|s| s.is_err()).count());
+        for (i, p) in batch.drain(..).enumerate() {
+            let result = match std::mem::replace(&mut statuses[i], Ok(())) {
+                Ok(()) => Ok(std::mem::replace(&mut outs[i], SvdOutput::empty())),
+                Err(e) => Err(e),
+            };
+            p.resolver.resolve(result);
+        }
     }
 }

@@ -1,0 +1,167 @@
+//! Completion tickets for asynchronous submissions.
+//!
+//! [`SvdService::submit`](crate::SvdService::submit) returns a
+//! [`Ticket`] immediately; the drainer thread resolves it once the
+//! request's coalesced batch has executed. A ticket is a one-shot,
+//! single-consumer slot: the service side holds the matching
+//! [`TicketResolver`], and `resolve` consumes it — so a ticket can never
+//! be resolved twice, and a resolver dropped without resolving (a
+//! drainer panic) marks the slot abandoned instead of leaving waiters
+//! blocked forever.
+
+use std::sync::{Arc, Condvar, Mutex};
+use unisvd_core::{SvdError, SvdOutput};
+
+/// The one-shot slot a ticket and its resolver share.
+enum SlotState {
+    /// Submitted, not yet executed.
+    Pending,
+    /// Executed; the result waits for [`Ticket::wait`].
+    Done(Result<SvdOutput, SvdError>),
+    /// The resolver was dropped without resolving (the service's drainer
+    /// died): waiting would block forever, so `wait` panics instead.
+    Abandoned,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl Slot {
+    /// The state, robust against poisoning: a panicking waiter must not
+    /// wedge the resolver (or vice versa).
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A claim on the result of one submitted request (from
+/// [`SvdService::submit`](crate::SvdService::submit)).
+///
+/// Single-consumer: [`wait`](Ticket::wait) consumes the ticket and
+/// returns the request's result exactly once.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request has executed and returns its result —
+    /// exactly what [`solve`](crate::SvdService::solve) would have
+    /// returned for the same matrix and configuration (bit-identical
+    /// values; errors included, so one failing request in a coalesced
+    /// batch surfaces only on its own ticket).
+    ///
+    /// # Panics
+    /// If the service's drainer thread died before resolving this ticket
+    /// (the only way a result can never arrive).
+    pub fn wait(self) -> Result<SvdOutput, SvdError> {
+        let mut st = self.slot.lock();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Abandoned) {
+                SlotState::Done(r) => return r,
+                SlotState::Abandoned => {
+                    panic!("ticket abandoned: the service drainer died before resolving it")
+                }
+                SlotState::Pending => {
+                    *st = SlotState::Pending;
+                    st = self.slot.done.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Whether the result has arrived (a non-blocking probe;
+    /// [`wait`](Ticket::wait) will not block once this returns `true`).
+    pub fn is_done(&self) -> bool {
+        !matches!(*self.slot.lock(), SlotState::Pending)
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match *self.slot.lock() {
+            SlotState::Pending => "pending",
+            SlotState::Done(_) => "done",
+            SlotState::Abandoned => "abandoned",
+        };
+        write!(f, "Ticket({state})")
+    }
+}
+
+/// The service-side half of a [`Ticket`]: consumed by
+/// [`resolve`](TicketResolver::resolve), so every ticket is resolved at
+/// most once by construction.
+pub(crate) struct TicketResolver {
+    slot: Arc<Slot>,
+    resolved: bool,
+}
+
+impl TicketResolver {
+    /// Delivers the request's result and wakes the waiter.
+    pub fn resolve(mut self, result: Result<SvdOutput, SvdError>) {
+        self.resolved = true;
+        *self.slot.lock() = SlotState::Done(result);
+        self.slot.done.notify_all();
+    }
+}
+
+impl Drop for TicketResolver {
+    fn drop(&mut self) {
+        if !self.resolved {
+            // Dropped without resolving (drainer panic mid-batch): mark
+            // the slot so the waiter fails fast instead of hanging.
+            *self.slot.lock() = SlotState::Abandoned;
+            self.slot.done.notify_all();
+        }
+    }
+}
+
+/// A fresh pending ticket and its resolver.
+pub(crate) fn ticket_pair() -> (Ticket, TicketResolver) {
+    let slot = Arc::new(Slot {
+        state: Mutex::new(SlotState::Pending),
+        done: Condvar::new(),
+    });
+    (
+        Ticket { slot: slot.clone() },
+        TicketResolver {
+            slot,
+            resolved: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_then_wait_delivers() {
+        let (ticket, resolver) = ticket_pair();
+        assert!(!ticket.is_done());
+        resolver.resolve(Ok(SvdOutput::empty()));
+        assert!(ticket.is_done());
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn wait_blocks_until_resolved_across_threads() {
+        let (ticket, resolver) = ticket_pair();
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        resolver.resolve(Err(SvdError::ShapeMismatch {
+            expected: (4, 4),
+            got: (2, 2),
+        }));
+        assert!(waiter.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn dropped_resolver_panics_the_waiter_instead_of_hanging() {
+        let (ticket, resolver) = ticket_pair();
+        drop(resolver);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait()));
+        assert!(r.is_err(), "abandoned ticket must fail fast");
+    }
+}

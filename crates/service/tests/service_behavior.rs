@@ -4,11 +4,12 @@
 //! plans.
 
 use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
 use unisvd_core::{Svd, SvdConfig, SvdError};
 use unisvd_gpu::hw::{h100, mi250};
 use unisvd_matrix::{testmat, Matrix, SvDistribution};
 use unisvd_scalar::F16;
-use unisvd_service::{ServiceConfig, SvdService};
+use unisvd_service::{ServiceConfig, ServiceError, SvdService};
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -69,6 +70,7 @@ fn eviction_under_tight_entry_capacity() {
             shards: 1,
             plans_per_shard: 2,
             max_cache_bytes: None,
+            ..ServiceConfig::default()
         },
     );
     let cfg = SvdConfig::default();
@@ -95,6 +97,7 @@ fn zero_capacity_disables_caching() {
             shards: 4,
             plans_per_shard: 0,
             max_cache_bytes: None,
+            ..ServiceConfig::default()
         },
     );
     let cfg = SvdConfig::default();
@@ -126,6 +129,7 @@ fn memory_budget_bounds_resident_bytes() {
             shards: 1,
             plans_per_shard: 8,
             max_cache_bytes: Some(one + one / 2),
+            ..ServiceConfig::default()
         },
     );
     // Two same-footprint signatures: the second insert must evict the
@@ -147,6 +151,7 @@ fn plan_larger_than_budget_is_discarded_not_cached() {
             shards: 1,
             plans_per_shard: 8,
             max_cache_bytes: Some(1024), // smaller than any real plan
+            ..ServiceConfig::default()
         },
     );
     let out = service.solve(&random_square(32, 12), &cfg).unwrap();
@@ -320,6 +325,7 @@ fn hot_plan_survives_memory_pressure_from_other_shards() {
             shards: 8,
             plans_per_shard: 8,
             max_cache_bytes: Some(one_plan * 2 + one_plan / 2),
+            ..ServiceConfig::default()
         },
     );
     service.solve(&random_square(24, 1), &cfg).unwrap(); // shape A
@@ -362,6 +368,255 @@ fn solve_into_reuses_output_and_matches_solve() {
     );
 }
 
+/// A matrix whose solve deterministically fails with `NoConvergence`
+/// (NaN data defeats the iterative stage-3 solvers) — the per-request
+/// runtime failure the error-isolation tests inject.
+fn poison(n: usize) -> Matrix<f32> {
+    Matrix::from_fn(n, n, |_, _| f32::NAN)
+}
+
+#[test]
+fn submitted_tickets_match_blocking_solves() {
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let mats: Vec<Matrix<f32>> = (0..6).map(|i| random_square(24, 200 + i)).collect();
+    let oracle: Vec<Vec<u64>> = mats
+        .iter()
+        .map(|a| bits(&service.solve(a, &cfg).unwrap().values))
+        .collect();
+    let tickets: Vec<_> = mats
+        .iter()
+        .map(|a| service.submit(a.clone(), &cfg).expect("admitted"))
+        .collect();
+    for (ticket, expect) in tickets.into_iter().zip(&oracle) {
+        assert_eq!(
+            &bits(&ticket.wait().unwrap().values),
+            expect,
+            "async result must be bit-identical to the blocking solve"
+        );
+    }
+    let qs = service.queue_stats();
+    assert_eq!(qs.submitted, 6);
+    assert_eq!((qs.rejected, qs.shed), (0, 0));
+    assert_eq!(
+        qs.coalesced,
+        qs.submitted - qs.batches,
+        "every non-head batch member counts as coalesced"
+    );
+}
+
+#[test]
+fn coalescer_groups_cross_caller_submissions_into_one_batch() {
+    // A window long enough that all producers land inside it, with
+    // max_coalesce equal to the request count: the drainer must close
+    // exactly one batch covering every submission.
+    const REQUESTS: usize = 8;
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            coalesce_window: Duration::from_secs(10),
+            max_coalesce: REQUESTS,
+            ..ServiceConfig::default()
+        },
+    );
+    let cfg = SvdConfig::default();
+    let oracle = bits(
+        &SvdService::new(&h100())
+            .solve(&random_square(24, 7), &cfg)
+            .unwrap()
+            .values,
+    );
+    let tickets: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..REQUESTS)
+            .map(|_| {
+                let service = &service;
+                s.spawn(move || {
+                    service
+                        .submit(random_square(24, 7), &cfg)
+                        .expect("admitted")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for ticket in tickets {
+        assert_eq!(bits(&ticket.wait().unwrap().values), oracle);
+    }
+    let qs = service.queue_stats();
+    assert_eq!(qs.batches, 1, "one coalesced batch for all callers");
+    assert_eq!(qs.coalesced, (REQUESTS - 1) as u64);
+    let stats = service.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        1,
+        "one plan checkout serves the whole batch"
+    );
+}
+
+#[test]
+fn queue_full_backpressure_rejects_at_admission() {
+    // Depth bound 1 and a long window: the first submission sits in the
+    // queue while the drainer holds its batch open, so the second is
+    // refused deterministically.
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            max_queue_depth: 1,
+            coalesce_window: Duration::from_secs(30),
+            max_coalesce: 8,
+            ..ServiceConfig::default()
+        },
+    );
+    let cfg = SvdConfig::default();
+    let a = random_square(16, 3);
+    let ticket = service.submit(a.clone(), &cfg).expect("first fits");
+    match service.submit(a.clone(), &cfg) {
+        Err(ServiceError::QueueFull { depth }) => assert_eq!(depth, 1),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(service.queue_stats().rejected, 1);
+    // Shutdown closes the window early and still resolves the accepted
+    // submission — no accepted ticket is lost to backpressure elsewhere.
+    let oracle = bits(&SvdService::new(&h100()).solve(&a, &cfg).unwrap().values);
+    drop(service);
+    assert_eq!(bits(&ticket.wait().unwrap().values), oracle);
+}
+
+#[test]
+fn shedding_refuses_non_resident_requests_when_headroom_is_low() {
+    let cfg = SvdConfig::default();
+    let probe = Svd::on(&h100())
+        .precision::<f32>()
+        .config(cfg)
+        .plan(16, 16)
+        .unwrap();
+    let one = probe.device_bytes();
+    // Budget fits one plan plus a sliver; the shedding floor is far
+    // above the sliver, so once a plan is resident only its own
+    // signature stays admissible.
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 1,
+            plans_per_shard: 8,
+            max_cache_bytes: Some(one + 64),
+            shed_headroom_bytes: one / 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let a = random_square(16, 4);
+    service.solve(&a, &cfg).unwrap(); // make the 16x16 plan resident
+    let warm_ticket = service
+        .submit(a.clone(), &cfg)
+        .expect("resident signatures are always admitted");
+    assert!(warm_ticket.wait().is_ok());
+    match service.submit(random_square(32, 5), &cfg) {
+        Err(ServiceError::Shedding { available_bytes }) => {
+            assert!(available_bytes < one / 2);
+        }
+        other => panic!("expected Shedding, got {other:?}"),
+    }
+    assert_eq!(service.queue_stats().shed, 1);
+}
+
+#[test]
+fn one_poisoned_request_fails_alone_in_a_coalesced_group() {
+    // Error isolation (blocking batch): a same-shape group with one
+    // NoConvergence request in the middle — the others keep bit-exact
+    // results, and the failure is counted.
+    let service = SvdService::new(&h100());
+    let cfg = SvdConfig::default();
+    let good: Vec<Matrix<f32>> = (0..4).map(|i| random_square(24, 300 + i)).collect();
+    let oracle: Vec<Vec<u64>> = good
+        .iter()
+        .map(|a| bits(&service.solve(a, &cfg).unwrap().values))
+        .collect();
+    let mats = vec![
+        good[0].clone(),
+        good[1].clone(),
+        poison(24),
+        good[2].clone(),
+        good[3].clone(),
+    ];
+    let failures_before = service.stats().failures;
+    let results = service.solve_batch(&mats, &cfg);
+    assert!(matches!(results[2], Err(SvdError::NoConvergence(_))));
+    for (r, expect) in results
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(i, r)| (r, &oracle[if i < 2 { i } else { i - 1 }]))
+    {
+        assert_eq!(&bits(&r.as_ref().unwrap().values), expect);
+    }
+    assert_eq!(
+        service.stats().failures - failures_before,
+        1,
+        "exactly the poisoned request counts as a failure"
+    );
+
+    // Same through the async coalescer: force one batch containing the
+    // poison and assert only its ticket errors.
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            coalesce_window: Duration::from_secs(10),
+            max_coalesce: 5,
+            ..ServiceConfig::default()
+        },
+    );
+    let tickets: Vec<_> = mats
+        .iter()
+        .map(|a| service.submit(a.clone(), &cfg).expect("admitted"))
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.wait();
+        if i == 2 {
+            assert!(matches!(result, Err(SvdError::NoConvergence(_))));
+        } else {
+            let expect = &oracle[if i < 2 { i } else { i - 1 }];
+            assert_eq!(&bits(&result.unwrap().values), expect);
+        }
+    }
+    assert_eq!(service.stats().failures, 1);
+    assert_eq!(service.queue_stats().batches, 1, "one coalesced batch");
+}
+
+#[test]
+fn failing_requests_never_leak_ledger_budget() {
+    // Regression for the reservation-leak class: a loop of requests
+    // whose publishes are all rejected (the plan alone exceeds the
+    // cache budget) and whose solves all fail must leave the ledger
+    // exactly where it started — zero resident bytes.
+    let service = SvdService::with_config(
+        &h100(),
+        ServiceConfig {
+            shards: 2,
+            plans_per_shard: 4,
+            max_cache_bytes: Some(1024), // smaller than any real plan
+            ..ServiceConfig::default()
+        },
+    );
+    let cfg = SvdConfig::default();
+    let bad = poison(24);
+    for _ in 0..5 {
+        assert!(matches!(
+            service.solve(&bad, &cfg),
+            Err(SvdError::NoConvergence(_))
+        ));
+        let ticket = service.submit(bad.clone(), &cfg).expect("admitted");
+        assert!(matches!(ticket.wait(), Err(SvdError::NoConvergence(_))));
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.resident_bytes, 0,
+        "every rejected publish must return its reservation"
+    );
+    assert_eq!(stats.resident_plans, 0);
+    assert_eq!(stats.failures, 10);
+    assert_eq!(stats.discards, 10, "all 10 publishes declined");
+}
+
 #[test]
 fn warm_reports_zero_when_caching_is_disabled() {
     // plans_per_shard = 0 disables caching; publish declines every plan,
@@ -372,6 +627,7 @@ fn warm_reports_zero_when_caching_is_disabled() {
             shards: 4,
             plans_per_shard: 0,
             max_cache_bytes: None,
+            ..ServiceConfig::default()
         },
     );
     let cfg = SvdConfig::default();

@@ -223,6 +223,25 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
         });
 }
 
+/// Records an externally measured scalar under `label` so open-loop
+/// benches (which time whole replays rather than a closure in a loop)
+/// can ship their percentiles and ratios in the `BENCH_JSON` artifact
+/// alongside timing-loop results. The value lands in the
+/// `seconds_per_iter` field with `iters = 1`; non-second units should
+/// say so in the label.
+pub fn record_metric(label: impl Into<String>, value: f64) {
+    let label = label.into();
+    println!("  {label:<48} {value:>14.6}");
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            label,
+            seconds_per_iter: value,
+            iters: 1,
+        });
+}
+
 /// Declares a bench entry point that runs each target in order.
 #[macro_export]
 macro_rules! criterion_group {

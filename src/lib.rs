@@ -17,7 +17,10 @@
 //! * [`SvdService`] — the serving layer: a thread-safe sharded plan
 //!   cache keyed by [`PlanSignature`], so concurrent request streams
 //!   share plans instead of re-planning, with same-signature batches
-//!   coalesced onto the work-stealing pool.
+//!   coalesced onto the work-stealing pool. `submit` returns a
+//!   [`Ticket`] immediately and a drainer thread micro-batches
+//!   same-signature submissions from different callers, shedding load
+//!   with typed [`ServiceError`]s when the queue or memory saturates.
 //! * [`Device`] / [`hw`] — the bulk-synchronous GPU simulator and the
 //!   hardware descriptors.
 //! * [`Matrix`] and test-matrix generators.
@@ -52,7 +55,7 @@ pub use unisvd_matrix::{
     reference, testmat, BandMatrix, Bidiagonal, Matrix, MatrixRef, SvDistribution,
 };
 pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};
-pub use unisvd_service::{CacheStats, ServiceConfig, SvdService};
+pub use unisvd_service::{CacheStats, QueueStats, ServiceConfig, ServiceError, SvdService, Ticket};
 
 /// Host threading controls, re-exported from the vendored work-stealing
 /// pool (`shims/rayon`).

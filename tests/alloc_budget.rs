@@ -167,6 +167,42 @@ fn steady_state_allocates_zero_bytes() {
         );
     }
 
+    // ---- warm coalesced batch path -----------------------------------
+    // execute_batch_refs_into leases per-chunk workers from the plan's
+    // batch pool; after one warmup pass the pool, the chunk bounds, the
+    // output shells, and every worker's workspaces are at steady state —
+    // a second pass over the same request count must not allocate.
+    {
+        let cfg = SvdConfig::default();
+        let plan = Svd::on(&h100())
+            .precision::<f32>()
+            .config(cfg)
+            .plan(N, N)
+            .unwrap();
+        let refs: Vec<&Matrix<f32>> = inputs.iter().collect();
+        let mut outs: Vec<SvdOutput> = (0..refs.len()).map(|_| SvdOutput::empty()).collect();
+        let mut statuses: Vec<Result<(), unisvd::SvdError>> = vec![Ok(()); refs.len()];
+        plan.execute_batch_refs_into(&refs, &mut outs, &mut statuses);
+        assert!(statuses.iter().all(|s| s.is_ok()));
+        let workers = plan.batch_workers();
+        let (allocs, bytes) = measure(|| {
+            plan.execute_batch_refs_into(&refs, &mut outs, &mut statuses);
+        });
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "warm execute_batch_refs_into ({workers} pooled workers, {} requests) \
+             must not allocate: {allocs} allocations / {bytes} bytes",
+            refs.len()
+        );
+        assert_eq!(
+            plan.batch_workers(),
+            workers,
+            "the measured pass must reuse the pooled workers, not regrow them"
+        );
+        assert!(statuses.iter().all(|s| s.is_ok()));
+    }
+
     // ---- warm SvdService::solve_into ---------------------------------
     let cfg = SvdConfig::default();
     let service = SvdService::new(&h100());

@@ -176,6 +176,72 @@ fn service_cached_and_fresh_plans_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn async_submissions_bit_identical_across_thread_counts() {
+    // The async acceptance gate: results delivered through submit/wait —
+    // queued, coalesced across callers, executed on pooled batch workers
+    // — must carry the bits of a directly driven fresh SvdPlan. The
+    // producers run under explicit 1/4/8-thread pools; the drainer
+    // executes on the global pool, which the CI thread matrix
+    // (RAYON_NUM_THREADS = 1 and 4) sizes independently. Determinism
+    // must hold for every combination.
+    use std::time::Duration;
+    use unisvd::{ServiceConfig, SvdService};
+    let mats = golden_batch();
+    let cfg = SvdConfig::default();
+    let direct: Vec<Vec<u64>> = mats
+        .iter()
+        .map(|a| {
+            let mut plan = Svd::on(&hw::h100())
+                .precision::<f64>()
+                .config(cfg)
+                .plan(a.rows(), a.cols())
+                .unwrap();
+            plan.execute(a)
+                .unwrap()
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    for t in [1, 4, 8] {
+        pool(t).install(|| {
+            let service = SvdService::with_config(
+                &hw::h100(),
+                ServiceConfig {
+                    coalesce_window: Duration::from_millis(2),
+                    ..ServiceConfig::default()
+                },
+            );
+            // Two passes: cold plans, then warm pooled batch workers.
+            // Duplicate same-shape submissions inside a pass exercise the
+            // coalesced multi-request path.
+            for pass in ["cold", "warm"] {
+                let tickets: Vec<_> = mats
+                    .iter()
+                    .chain(mats.iter())
+                    .map(|a| service.submit(a.clone(), &cfg).expect("admitted"))
+                    .collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let got: Vec<u64> = ticket
+                        .wait()
+                        .unwrap()
+                        .values
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    let want = &direct[i % mats.len()];
+                    assert_eq!(
+                        &got, want,
+                        "{pass} submit changed bits at {t} threads (request {i})"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
 fn parallel_reductions_bit_identical_across_thread_counts() {
     // Non-associative float sum: chunk boundaries (and therefore the
     // combination tree) must not depend on the thread count.

@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "accuracy_study",
     "image_compression",
@@ -14,6 +14,7 @@ const EXAMPLES: [&str; 7] = [
     "portability_matrix",
     "solver_showdown",
     "svd_server",
+    "svd_async_server",
 ];
 
 fn target_dir() -> PathBuf {

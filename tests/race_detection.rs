@@ -109,6 +109,94 @@ fn hot_signature_hammered_from_many_threads() {
 }
 
 #[test]
+fn submit_wait_hammer_loses_no_ticket() {
+    // Bursty async producers against the drainer: each producer fires a
+    // burst of submissions (distinct matrices, mixed shapes), then waits
+    // all its tickets. Every ticket must resolve exactly once with the
+    // bits of ITS OWN matrix — a swapped resolution order, a lost
+    // ticket (this test would hang), or a double-resolve (the one-shot
+    // slot would panic) all fail loudly. Coalescing across producers is
+    // exercised by the shared shapes.
+    use std::time::Duration;
+    use unisvd::{ServiceConfig, SvdConfig, SvdService};
+    const PRODUCERS: usize = 8;
+    const ROUNDS: usize = 4;
+    const BURST: usize = 6;
+    let shapes = [16usize, 24, 32];
+    let cfg = SvdConfig::default();
+    let mat = |n: usize, k: usize| {
+        Matrix::<f32>::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17 + k * 7) % 23) as f32 / 23.0 - 0.5
+        })
+    };
+    // Oracle bits per (shape, burst index), from blocking solves.
+    let oracle: Vec<Vec<Vec<u64>>> = {
+        let service = SvdService::new(&hw::h100());
+        shapes
+            .iter()
+            .map(|&n| {
+                (0..BURST)
+                    .map(|k| {
+                        service
+                            .solve(&mat(n, k), &cfg)
+                            .unwrap()
+                            .values
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let service = SvdService::with_config(
+        &hw::h100(),
+        ServiceConfig {
+            coalesce_window: Duration::from_micros(500),
+            ..ServiceConfig::default()
+        },
+    );
+    std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            let (service, cfg, oracle, mat) = (&service, &cfg, &oracle, &mat);
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let shape_idx = (t + r) % shapes.len();
+                    let n = shapes[shape_idx];
+                    let tickets: Vec<_> = (0..BURST)
+                        .map(|k| service.submit(mat(n, k), cfg).expect("never full"))
+                        .collect();
+                    for (k, ticket) in tickets.into_iter().enumerate() {
+                        let got: Vec<u64> = ticket
+                            .wait()
+                            .unwrap()
+                            .values
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect();
+                        assert_eq!(
+                            got, oracle[shape_idx][k],
+                            "producer {t} round {r} ticket {k} got foreign bits"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let qs = service.queue_stats();
+    let total = (PRODUCERS * ROUNDS * BURST) as u64;
+    assert_eq!(qs.submitted, total);
+    assert_eq!((qs.rejected, qs.shed), (0, 0));
+    assert!(qs.batches >= 1 && qs.batches <= total);
+    assert_eq!(
+        qs.coalesced,
+        total - qs.batches,
+        "submissions partition exactly into batches"
+    );
+    assert_eq!(service.stats().failures, 0);
+}
+
+#[test]
 fn full_pipeline_is_race_free() {
     // The real kernels (fused and unfused, QR and LQ sweeps) under the
     // detector: any cross-workgroup overlapping write would panic here.
