@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use unisvd_core::{Svd, SvdConfig};
 use unisvd_gpu::hw::h100;
 use unisvd_matrix::{testmat, Matrix, SvDistribution};
-use unisvd_service::{ServiceConfig, SvdService};
+use unisvd_service::{ServiceBuilder, SvdService};
 
 const SHAPES: [usize; 3] = [32, 48, 64];
 const BURST: usize = 6;
@@ -70,8 +70,8 @@ fn trace(gap: Duration) -> Vec<Req> {
         .collect()
 }
 
-fn warm_service(cfg: &SvdConfig, config: ServiceConfig) -> SvdService {
-    let service = SvdService::with_config(&h100(), config);
+fn warm_service(cfg: &SvdConfig, builder: ServiceBuilder) -> SvdService {
+    let service = builder.build();
     for n in SHAPES {
         service
             .solve(&Matrix::<f32>::identity(n), cfg)
@@ -187,7 +187,7 @@ fn fig_latency(c: &mut Criterion) {
 
     // Calibrate the burst gap to ~2x the blocking service rate: measure
     // the median warm solve per shape, take half the serial burst cost.
-    let probe = warm_service(&cfg, ServiceConfig::default());
+    let probe = warm_service(&cfg, SvdService::builder(&h100()));
     let median_solve: f64 = {
         let mut rng = StdRng::seed_from_u64(0xCA11B);
         let mut per_shape: Vec<f64> = SHAPES
@@ -217,7 +217,7 @@ fn fig_latency(c: &mut Criterion) {
     // Correctness gate: the blocking service must match a direct plan on
     // one representative of each shape (the async replay is then gated
     // bit-identical against the blocking one, request by request).
-    let blocking = warm_service(&cfg, ServiceConfig::default());
+    let blocking = warm_service(&cfg, SvdService::builder(&h100()));
     for &n in &SHAPES {
         let a = trace
             .iter()
@@ -249,11 +249,9 @@ fn fig_latency(c: &mut Criterion) {
     let blocked = replay_blocking(&blocking, &trace, &cfg);
     let async_service = warm_service(
         &cfg,
-        ServiceConfig {
-            coalesce_window: gap,
-            max_coalesce: BURST,
-            ..ServiceConfig::default()
-        },
+        SvdService::builder(&h100())
+            .coalesce_window(gap)
+            .max_coalesce(BURST),
     );
     let asynced = replay_async(&async_service, &trace, &cfg);
 
@@ -261,7 +259,7 @@ fn fig_latency(c: &mut Criterion) {
         asynced.bits, blocked.bits,
         "async results must be bit-identical to the blocking baseline"
     );
-    let qs = async_service.queue_stats();
+    let qs = async_service.stats().queue;
     assert_eq!(qs.submitted, requests as u64);
     assert_eq!((qs.rejected, qs.shed), (0, 0), "no request may be refused");
     assert!(

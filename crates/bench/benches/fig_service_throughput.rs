@@ -22,7 +22,7 @@ use std::time::Instant;
 use unisvd_core::{Svd, SvdConfig};
 use unisvd_gpu::hw::h100;
 use unisvd_matrix::{testmat, Matrix, SvDistribution};
-use unisvd_service::{ServiceConfig, SvdService};
+use unisvd_service::SvdService;
 
 const SHAPES: [usize; 3] = [32, 48, 64];
 const REQUESTS: usize = 96;
@@ -43,13 +43,8 @@ fn workload() -> Vec<Matrix<f32>> {
 }
 
 fn cold_service() -> SvdService {
-    SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            plans_per_shard: 0, // caching disabled: every request is cold
-            ..ServiceConfig::default()
-        },
-    )
+    // Caching disabled: every request is cold.
+    SvdService::builder(&h100()).plans_per_shard(0).build()
 }
 
 fn warm_service(mats: &[Matrix<f32>], cfg: &SvdConfig) -> SvdService {
@@ -123,7 +118,7 @@ fn fig_service_throughput(c: &mut Criterion) {
 
     let sim_speedup = cold_sim / warm_sim;
     let wall_speedup = cold_wall / warm_wall;
-    let stats = warm.stats();
+    let stats = warm.stats().cache;
     println!("\nfig_service_throughput ({REQUESTS} mixed-shape f32 requests {SHAPES:?}, H100):");
     println!(
         "  cold (no cache):  {:>8.3} ms simulated/pass   {:>9.3} ms wall/pass",

@@ -35,7 +35,7 @@ use unisvd_gpu::hw::h100;
 use unisvd_gpu::Device;
 use unisvd_matrix::{testmat, BandMatrix, Matrix, SvDistribution};
 use unisvd_scalar::PrecisionKind;
-use unisvd_service::{ServiceConfig, SvdService};
+use unisvd_service::SvdService;
 
 /// Median wall seconds of `reps` runs of `f`.
 fn median_wall(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -275,15 +275,11 @@ fn fig_wallclock(c: &mut Criterion) {
         .map(|&n| warm_svc.signature::<f32>(n, n, &cfg))
         .collect();
     assert_eq!(warm_svc.warm(&sigs), shapes.len(), "trace warmup resident");
-    let cold_svc = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 8,
-            plans_per_shard: 0, // caching disabled: every request replans
-            max_cache_bytes: None,
-            ..ServiceConfig::default()
-        },
-    );
+    // Caching disabled: every request replans.
+    let cold_svc = SvdService::builder(&h100())
+        .shards(8)
+        .plans_per_shard(0)
+        .build();
     // Bit-identity gate: warm and cold serving agree.
     for a in fleet.iter().take(3) {
         let w = warm_svc.solve(a, &cfg).unwrap();

@@ -32,7 +32,7 @@ pub use band2bi::{band_to_bidiagonal, band_to_bidiagonal_into};
 pub use band_diag::{band_diag, extract_band, extract_band_into, getsmqrt};
 pub use bidiag_svd::{bdsqr, bdsqr_into, bisect, bisect_into, NoConvergence, Stage3Workspace};
 pub use dqds::{dqds, dqds_into};
-pub use plan::{PlanError, PlanSignature, Svd, SvdPlan};
+pub use plan::{PlanError, PlanProbe, PlanSignature, Svd, SvdPlan};
 pub use svd::{
     resolve_params, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
     Stage3Solver, SvdConfig, SvdError, SvdOutput,

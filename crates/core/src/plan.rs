@@ -85,7 +85,15 @@ impl std::fmt::Display for PlanError {
     }
 }
 
-impl std::error::Error for PlanError {}
+impl std::error::Error for PlanError {
+    /// The support-matrix rejection this plan error wraps, if any.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Unsupported(u) => Some(u),
+            PlanError::ExceedsDeviceMemory { .. } => None,
+        }
+    }
+}
 
 impl From<UnsupportedPrecision> for PlanError {
     fn from(u: UnsupportedPrecision) -> Self {
@@ -119,6 +127,19 @@ pub struct PlanSignature {
     pub trace_only: bool,
 }
 
+impl PlanSignature {
+    /// The signature this request would carry on a *different* device:
+    /// identical shape, precision, configuration, and trace mode, but
+    /// keyed to `hw`. This is the re-routing primitive of fleet serving —
+    /// a signature resident on a failed device is retargeted to a
+    /// survivor before re-planning there.
+    pub fn for_device(mut self, hw: &HardwareDescriptor) -> PlanSignature {
+        self.device = hw.name;
+        self.backend = hw.backend;
+        self
+    }
+}
+
 impl std::fmt::Display for PlanSignature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -132,6 +153,18 @@ impl std::fmt::Display for PlanSignature {
             self.config
         )
     }
+}
+
+/// What [`Svd::probe`] learns about a plan without building it: the
+/// geometry and device-memory footprint admission decisions need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanProbe {
+    /// Padded device problem edge the plan would use (0 for empty
+    /// shapes).
+    pub padded: usize,
+    /// Device bytes a built plan would pin (its `device_bytes()` before
+    /// any batch workers; 0 for trace-only or empty plans).
+    pub device_bytes: u64,
 }
 
 /// Host driver overhead model for one solve. The Julia original pays
@@ -400,26 +433,74 @@ impl<T: Scalar> Svd<T> {
         }
     }
 
+    /// Runs every admission check [`plan`](Svd::plan) would — the
+    /// Table 2 support matrix and the device-capacity rule — **without
+    /// building anything**: no device buffers, no host staging, no
+    /// workspace allocation. On success the returned [`PlanProbe`]
+    /// reports the padded problem edge and the device bytes a real plan
+    /// would pin, so a serving layer can decide *where* to place a
+    /// signature (fleet routing compares these against each candidate
+    /// device's ledger headroom) before paying for planning anywhere.
+    ///
+    /// A probe that returns `Ok` guarantees `plan(rows, cols)` on the
+    /// same builder succeeds, and vice versa.
+    ///
+    /// ```
+    /// use unisvd_core::{PlanError, Svd};
+    /// use unisvd_gpu::hw;
+    ///
+    /// // Supported: probe reports the plan's footprint without building.
+    /// let p = Svd::on(&hw::h100()).precision::<f32>().probe(48, 48)?;
+    /// assert_eq!(p.padded % 16, 0);
+    /// assert!(p.device_bytes > 0);
+    /// // Out of the support matrix: rejected exactly like `plan`.
+    /// assert!(matches!(
+    ///     Svd::on(&hw::m1_pro()).precision::<f64>().probe(48, 48),
+    ///     Err(PlanError::Unsupported(_))
+    /// ));
+    /// # Ok::<(), PlanError>(())
+    /// ```
+    pub fn probe(&self, rows: usize, cols: usize) -> Result<PlanProbe, PlanError> {
+        let dev = Device::new(self.hw.clone(), self.mode);
+        let core = PlanCore::new::<T>(&dev, &self.cfg, rows, cols)?;
+        let bytes = Self::capacity_check(&dev, &core)?;
+        Ok(PlanProbe {
+            padded: core.padded,
+            device_bytes: bytes,
+        })
+    }
+
+    /// The device-capacity admission rule shared by [`plan`](Svd::plan)
+    /// and [`probe`](Svd::probe); returns the device bytes a built plan
+    /// would pin (its `device_bytes()` before any batch workers).
+    fn capacity_check(dev: &Device, core: &PlanCore) -> Result<u64, PlanError> {
+        // Everything the plan will hold on the device: the padded
+        // matrix plus the τ-factor vector. Matching device_bytes()
+        // exactly means a plan that passes this check can always be
+        // admitted by an empty budget_bytes()-sized cache ledger.
+        let bytes = ((core.padded as u64).pow(2) + core.padded as u64) * T::KIND.bytes() as u64;
+        if dev.mode() == ExecMode::Numeric && core.padded > 0 && !dev.hw().fits(bytes) {
+            return Err(PlanError::ExceedsDeviceMemory {
+                device: dev.hw().name,
+                padded: core.padded,
+                bytes,
+            });
+        }
+        // Trace-only plans allocate no data: nothing to pin.
+        if dev.mode() == ExecMode::Numeric {
+            Ok(bytes)
+        } else {
+            Ok(0)
+        }
+    }
+
     /// Performs all one-time work — support-matrix check, hyperparameter
     /// resolution, tile padding, capacity check, workspace allocation —
     /// and returns the reusable plan for `rows × cols` inputs.
     pub fn plan(self, rows: usize, cols: usize) -> Result<SvdPlan<T>, PlanError> {
         let dev = Device::new(self.hw.clone(), self.mode);
         let core = PlanCore::new::<T>(&dev, &self.cfg, rows, cols)?;
-        if self.mode == ExecMode::Numeric && core.padded > 0 {
-            // Everything the plan will hold on the device: the padded
-            // matrix plus the τ-factor vector. Matching device_bytes()
-            // exactly means a plan that passes this check can always be
-            // admitted by an empty budget_bytes()-sized cache ledger.
-            let bytes = ((core.padded as u64).pow(2) + core.padded as u64) * T::KIND.bytes() as u64;
-            if !dev.hw().fits(bytes) {
-                return Err(PlanError::ExceedsDeviceMemory {
-                    device: dev.hw().name,
-                    padded: core.padded,
-                    bytes,
-                });
-            }
-        }
+        Self::capacity_check(&dev, &core)?;
         Ok(SvdPlan::from_parts(dev, core))
     }
 }
@@ -1349,6 +1430,63 @@ mod tests {
             assert_eq!(s.seconds_of(class), free.seconds_of(class));
         }
         assert!(s.seconds_of(Other) < free.seconds_of(Other));
+    }
+
+    #[test]
+    fn probe_agrees_with_plan_on_every_table2_cell() {
+        // The probe must predict plan()'s admission decision exactly:
+        // same Ok/Err, and on Ok the same padded edge and pinned bytes
+        // a built plan reports.
+        use unisvd_gpu::hw::all_platforms;
+        fn check<T: Scalar>(hw: &HardwareDescriptor) {
+            let builder = Svd::on(hw).precision::<T>();
+            let probed = builder.probe(40, 40);
+            let planned = builder.clone().plan(40, 40);
+            match (probed, planned) {
+                (Ok(p), Ok(plan)) => {
+                    assert_eq!(p.padded, plan.padded_n());
+                    assert_eq!(p.device_bytes, plan.device_bytes());
+                }
+                (Err(pe), Err(le)) => assert_eq!(pe, le),
+                (p, l) => panic!("probe/plan disagree on {}: {p:?} vs {l:?}", hw.name),
+            }
+        }
+        for hw in all_platforms() {
+            check::<f64>(&hw);
+            check::<f32>(&hw);
+            check::<F16>(&hw);
+        }
+    }
+
+    #[test]
+    fn probe_rejects_over_capacity_without_allocating() {
+        match Svd::on(&rtx4060()).precision::<f32>().probe(65536, 65536) {
+            Err(PlanError::ExceedsDeviceMemory { padded, .. }) => assert_eq!(padded, 65536),
+            other => panic!("expected capacity rejection, got {other:?}"),
+        }
+        // Trace-only probes skip the capacity check, like trace plans.
+        let p = Svd::on(&rtx4060())
+            .precision::<f32>()
+            .trace_only()
+            .probe(65536, 65536)
+            .unwrap();
+        assert_eq!(p.device_bytes, 0, "trace plans pin no device data");
+    }
+
+    #[test]
+    fn signature_retargets_to_another_device() {
+        let sig = Svd::on(&h100()).precision::<f32>().signature(48, 32);
+        let moved = sig.for_device(&mi250());
+        assert_eq!(moved.device, "AMD MI250");
+        assert_eq!(moved.backend, BackendKind::Rocm);
+        // Everything that is not device identity is preserved.
+        assert_eq!(
+            (moved.rows, moved.cols, moved.precision, moved.trace_only),
+            (sig.rows, sig.cols, sig.precision, sig.trace_only)
+        );
+        assert_eq!(moved.config, sig.config);
+        // Round-trip restores the original signature exactly.
+        assert_eq!(moved.for_device(&h100()), sig);
     }
 
     #[test]

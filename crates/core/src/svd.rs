@@ -129,6 +129,15 @@ pub enum SvdError {
     /// A plan-time rejection surfaced through a batched wrapper (e.g. an
     /// over-capacity uniform batch).
     Plan(PlanError),
+    /// A serving-layer admission rejection (queue full, load shedding,
+    /// no routable device) folded into the solve-error type, so callers
+    /// driving a service or fleet can `?` through one error surface.
+    /// Produced by the `From<ServiceError>` impl in `unisvd_service`;
+    /// the reason string is that error's `Display` output.
+    Rejected {
+        /// The admission error's human-readable rendering.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SvdError {
@@ -142,11 +151,24 @@ impl std::fmt::Display for SvdError {
                 expected.0, expected.1, got.0, got.1
             ),
             SvdError::Plan(e) => write!(f, "{e}"),
+            SvdError::Rejected { reason } => write!(f, "request rejected: {reason}"),
         }
     }
 }
 
-impl std::error::Error for SvdError {}
+impl std::error::Error for SvdError {
+    /// The underlying cause, for callers walking an error chain: the
+    /// support-matrix rejection, convergence failure, or plan-time error
+    /// this solve error wraps (`None` for the self-contained variants).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvdError::Unsupported(u) => Some(u),
+            SvdError::NoConvergence(e) => Some(e),
+            SvdError::Plan(e) => Some(e),
+            SvdError::ShapeMismatch { .. } | SvdError::Rejected { .. } => None,
+        }
+    }
+}
 
 impl From<UnsupportedPrecision> for SvdError {
     fn from(u: UnsupportedPrecision) -> Self {

@@ -49,7 +49,14 @@ pub enum Fp16Mode {
 }
 
 /// Static description of one GPU platform (one row of Table 2).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Descriptor **identity** is the [`name`](Self::name) field: every
+/// constructor in [`hw`](crate::hw) uses a distinct static name, plan
+/// signatures key on it, and fleet routers use it to label devices.
+/// The derived `PartialEq` compares every field, so two descriptors are
+/// equal exactly when they describe the same configuration of the same
+/// platform.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HardwareDescriptor {
     /// Marketing name, e.g. "NVIDIA H100".
     pub name: &'static str,
@@ -128,6 +135,14 @@ impl HardwareDescriptor {
     /// headroom factor for workspace (τ factors, staging buffers).
     pub fn fits(&self, bytes: u64) -> bool {
         (bytes as f64) * 1.3 <= self.memory_bytes as f64
+    }
+
+    /// Whether this descriptor names the same device as `other` —
+    /// descriptor identity, as opposed to the derived `PartialEq`'s
+    /// full-configuration equality. Fleet routing and plan signatures
+    /// key on this.
+    pub fn is_same_device(&self, other: &HardwareDescriptor) -> bool {
+        self.name == other.name
     }
 
     /// Largest power-of-two square matrix of precision `p` that fits,
@@ -371,6 +386,26 @@ mod tests {
         assert_eq!(rows[3].warp_size, 64);
         assert_eq!(rows[4].backend, BackendKind::Metal);
         assert_eq!(rows[5].sm_count, 1024);
+    }
+
+    #[test]
+    fn descriptor_identity_and_equality() {
+        // Identity is the name; equality is the whole configuration.
+        let a = h100();
+        let mut b = h100();
+        assert!(a.is_same_device(&b));
+        assert_eq!(a, b);
+        b.memory_bytes /= 2;
+        assert!(a.is_same_device(&b), "identity survives re-configuration");
+        assert_ne!(a, b, "equality does not");
+        assert!(!a.is_same_device(&a100()));
+        // Every shipped platform has a distinct identity (signatures and
+        // fleet routing key on it).
+        let names: Vec<_> = all_platforms().iter().map(|h| h.name).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
     }
 
     #[test]

@@ -1,0 +1,743 @@
+//! [`SvdFleet`]: one serving surface over N heterogeneous devices.
+//!
+//! A single [`SvdService`] owns exactly one simulated device, so the
+//! paper's Fig. 5 portability matrix is a static benchmark. The fleet
+//! turns it into a *routing policy*: it owns one service per
+//! [`HardwareDescriptor`], fronts them with the same blocking
+//! [`solve`](SvdFleet::solve) / asynchronous [`submit`](SvdFleet::submit)
+//! surface (callers stay fleet-oblivious), and places each request's
+//! [`PlanSignature`] by
+//!
+//! * **support** — a Table 2 rejection (`mi250` has no FP16, `m1_pro`
+//!   no FP64) or an over-capacity shape becomes "route elsewhere"
+//!   instead of "fail", answered by `Svd::probe` without building a
+//!   plan;
+//! * **memory headroom** — each backend's `MemoryLedger` budget, both
+//!   absolute fit and relative fraction;
+//! * **load** — the observed in-flight gauge from `QueueStats`.
+//!
+//! Decisions are amortized in a placement map (route once per
+//! signature, reuse for every subsequent request — FFTW's wisdom
+//! argument applied to routing). Hot signatures are **replicated** to a
+//! second device once they have served enough requests, with requests
+//! alternating across the two homes. [`fail_device`](SvdFleet::fail_device)
+//! simulates device loss: the dead backend's queue is drained, its
+//! resident signatures re-planned on survivors, and its in-flight
+//! tickets re-routed — every outstanding [`Ticket::wait`] still
+//! resolves.
+
+use crate::queue::Pending;
+use crate::router::{best, Candidate, Placement, PlacementMap, RouteKey};
+use crate::service::{Knobs, ServiceError, ServiceStats, SvdService};
+use crate::ticket::{ticket_pair, Ticket};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use unisvd_core::{PlanSignature, Svd, SvdConfig, SvdError, SvdOutput};
+use unisvd_gpu::HardwareDescriptor;
+use unisvd_matrix::Matrix;
+use unisvd_scalar::{PrecisionKind, Scalar, F16};
+
+/// How many requests a route key must have served before the fleet
+/// replicates its plan to a second device (each request past the first
+/// is a cache hit on the primary — the hotness signal).
+const DEFAULT_REPLICATE_AFTER: u64 = 8;
+
+/// Accumulates a fleet's devices and shared service knobs, then
+/// [`build`](Self::build)s it. Obtained from [`SvdFleet::builder`].
+///
+/// ```
+/// use unisvd_gpu::hw;
+/// use unisvd_service::SvdFleet;
+///
+/// let fleet = SvdFleet::builder()
+///     .device(hw::h100())
+///     .device(hw::mi250())
+///     .device(hw::m1_pro())
+///     .replicate_after(4)
+///     .build();
+/// assert_eq!(fleet.device_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FleetBuilder {
+    devices: Vec<HardwareDescriptor>,
+    knobs: Knobs,
+    replicate_after: u64,
+}
+
+impl FleetBuilder {
+    /// Adds one backend device. Order matters only for tie-breaking
+    /// (placement prefers the lowest index on a full tie) and for which
+    /// device names a [`ServiceError::NoDeviceSupports`] signature.
+    pub fn device(mut self, hw: HardwareDescriptor) -> Self {
+        self.devices.push(hw);
+        self
+    }
+
+    /// Requests a route key must serve before its plan is replicated to
+    /// a second device (`0` disables replication). Default 8.
+    pub fn replicate_after(mut self, served: u64) -> Self {
+        self.replicate_after = served;
+        self
+    }
+
+    /// Submission-queue depth bound applied to every backend (see
+    /// [`ServiceBuilder::queue_depth`](crate::ServiceBuilder::queue_depth)).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.knobs.max_queue_depth = depth;
+        self
+    }
+
+    /// Coalescing window applied to every backend (see
+    /// [`ServiceBuilder::coalesce_window`](crate::ServiceBuilder::coalesce_window)).
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.knobs.coalesce_window = window;
+        self
+    }
+
+    /// Per-batch coalescing bound applied to every backend (see
+    /// [`ServiceBuilder::max_coalesce`](crate::ServiceBuilder::max_coalesce)).
+    pub fn max_coalesce(mut self, max: usize) -> Self {
+        self.knobs.max_coalesce = max;
+        self
+    }
+
+    /// Cache shard count applied to every backend (see
+    /// [`ServiceBuilder::shards`](crate::ServiceBuilder::shards)).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.knobs.shards = shards;
+        self
+    }
+
+    /// Resident-plan bound per shard applied to every backend (see
+    /// [`ServiceBuilder::plans_per_shard`](crate::ServiceBuilder::plans_per_shard)).
+    pub fn plans_per_shard(mut self, plans: usize) -> Self {
+        self.knobs.plans_per_shard = plans;
+        self
+    }
+
+    /// Shedding headroom floor applied to every backend (see
+    /// [`ServiceBuilder::shed_headroom`](crate::ServiceBuilder::shed_headroom)).
+    pub fn shed_headroom(mut self, bytes: u64) -> Self {
+        self.knobs.shed_headroom_bytes = bytes;
+        self
+    }
+
+    /// The configured fleet.
+    ///
+    /// # Panics
+    /// With no devices, or with more than 64 (the router's exclusion
+    /// set is a 64-bit mask).
+    pub fn build(self) -> SvdFleet {
+        assert!(
+            !self.devices.is_empty(),
+            "a fleet needs at least one device"
+        );
+        assert!(self.devices.len() <= 64, "a fleet holds at most 64 devices");
+        SvdFleet {
+            backends: self
+                .devices
+                .iter()
+                .map(|hw| SvdService::from_knobs(hw, self.knobs))
+                .collect(),
+            dead: self
+                .devices
+                .iter()
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            router: Mutex::new(PlacementMap::new()),
+            replicate_after: self.replicate_after,
+        }
+    }
+}
+
+/// A fleet-wide statistics snapshot: the field-wise sum over all
+/// backends plus the per-device breakdown. From [`SvdFleet::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct FleetStats {
+    /// Every backend's [`ServiceStats`] summed field-wise.
+    pub total: ServiceStats,
+    /// One entry per backend, in builder order.
+    pub per_device: Vec<DeviceStats>,
+}
+
+/// One backend's slice of a [`FleetStats`] snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceStats {
+    /// The backend's device name (`HardwareDescriptor::name`).
+    pub device: &'static str,
+    /// Whether the backend is still serving (not
+    /// [`fail_device`](SvdFleet::fail_device)d).
+    pub alive: bool,
+    /// The backend's own snapshot.
+    pub stats: ServiceStats,
+}
+
+/// What [`SvdFleet::fail_device`] did with the dead backend's work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Queued requests re-routed to a survivor (their tickets resolve
+    /// with results).
+    pub rerouted: usize,
+    /// Queued requests no survivor supports (their tickets resolve with
+    /// `SvdError::Rejected` — never left hanging).
+    pub rejected: usize,
+    /// Resident signatures re-planned (prewarmed) on survivors.
+    pub replanned: usize,
+}
+
+/// A heterogeneous serving fleet: N [`SvdService`] backends with
+/// *different* [`HardwareDescriptor`]s behind one `solve`/`submit`
+/// surface, with support-, headroom-, and load-aware routing (the
+/// placement policy is documented in ARCHITECTURE.md's *Fleet routing*
+/// section).
+///
+/// ```
+/// use unisvd_core::SvdConfig;
+/// use unisvd_gpu::hw;
+/// use unisvd_matrix::Matrix;
+/// use unisvd_scalar::F16;
+/// use unisvd_service::SvdFleet;
+///
+/// // mi250 (ROCm) rejects FP16 at plan time — in a fleet that becomes
+/// // "route to the CUDA device" instead of an error.
+/// let fleet = SvdFleet::builder()
+///     .device(hw::mi250())
+///     .device(hw::h100())
+///     .build();
+/// let cfg = SvdConfig::default();
+/// let s = fleet.solve(&Matrix::<F16>::identity(16), &cfg)?;
+/// assert!(s.values[0] > 0.0);
+/// // The h100 backend (index 1) served it; the mi250 never saw it.
+/// assert_eq!(fleet.backend(1).stats().cache.misses, 1);
+/// assert_eq!(fleet.backend(0).stats().cache.misses, 0);
+/// # Ok::<(), unisvd_core::SvdError>(())
+/// ```
+pub struct SvdFleet {
+    backends: Vec<SvdService>,
+    /// `dead[i]` marks backend `i` lost; the router skips it.
+    dead: Vec<AtomicBool>,
+    /// Route key → placement, amortized across same-signature requests.
+    router: Mutex<PlacementMap>,
+    replicate_after: u64,
+}
+
+impl SvdFleet {
+    /// Starts assembling a fleet; add devices with
+    /// [`FleetBuilder::device`] and finish with [`FleetBuilder::build`].
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            devices: Vec::new(),
+            knobs: Knobs::default(),
+            replicate_after: DEFAULT_REPLICATE_AFTER,
+        }
+    }
+
+    /// A fleet over `devices` with every knob at its default.
+    pub fn new(devices: &[HardwareDescriptor]) -> Self {
+        devices
+            .iter()
+            .fold(Self::builder(), |b, hw| b.device(hw.clone()))
+            .build()
+    }
+
+    /// Number of backends (dead ones included).
+    pub fn device_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The backend at `index`, in builder order — for per-device
+    /// inspection (stats, ledger audits). Indexable whether alive or
+    /// dead.
+    pub fn backend(&self, index: usize) -> &SvdService {
+        &self.backends[index]
+    }
+
+    /// Whether backend `index` is still serving.
+    pub fn is_alive(&self, index: usize) -> bool {
+        !self.dead[index].load(Ordering::SeqCst)
+    }
+
+    /// Solves one request on whichever backend the router places it,
+    /// blocking the caller — the fleet-oblivious mirror of
+    /// [`SvdService::solve`].
+    ///
+    /// # Errors
+    /// [`SvdError::Rejected`] when no device supports the signature
+    /// (every backend fails the Table 2 support or capacity probe), plus
+    /// the chosen backend's own solve errors.
+    pub fn solve<T: Scalar>(&self, a: &Matrix<T>, cfg: &SvdConfig) -> Result<SvdOutput, SvdError> {
+        let mut out = SvdOutput::empty();
+        self.solve_into(a, cfg, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`solve`](Self::solve) writing into an existing [`SvdOutput`].
+    pub fn solve_into<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+        cfg: &SvdConfig,
+        out: &mut SvdOutput,
+    ) -> Result<(), SvdError> {
+        let idx = self
+            .place::<T>(a.rows(), a.cols(), cfg, false, 0)
+            .map_err(SvdError::from)?;
+        self.backends[idx].solve_into(a, cfg, out)
+    }
+
+    /// Enqueues one request on the routed backend and returns a
+    /// [`Ticket`] — the fleet-oblivious mirror of
+    /// [`SvdService::submit`]. Admission backpressure *diverts*: a
+    /// backend refusing with `QueueFull`/`Shedding` sends the request to
+    /// the next-best device, and only when every eligible backend
+    /// refuses does the error surface.
+    ///
+    /// # Errors
+    /// [`ServiceError::NoDeviceSupports`] when no backend passes the
+    /// support/capacity probe; otherwise the last backend's admission
+    /// error once all eligible backends refused.
+    pub fn submit<T: Scalar>(&self, a: Matrix<T>, cfg: &SvdConfig) -> Result<Ticket, ServiceError> {
+        let (rows, cols) = (a.rows(), a.cols());
+        let (ticket, resolver) = ticket_pair();
+        let mut p = Pending {
+            sig: self.backends[0].signature::<T>(rows, cols, cfg),
+            mat: Box::new(a),
+            resolver,
+        };
+        let mut exclude = 0u64;
+        let mut last: Option<ServiceError> = None;
+        loop {
+            match self.place::<T>(rows, cols, cfg, false, exclude) {
+                Ok(idx) => {
+                    p.sig = p.sig.for_device(self.backends[idx].hw());
+                    match self.backends[idx].submit_pending(p) {
+                        Ok(()) => return Ok(ticket),
+                        Err((back, e)) => {
+                            p = back;
+                            last = Some(e);
+                            exclude |= 1 << idx;
+                        }
+                    }
+                }
+                // Exhausted: prefer reporting the admission error that
+                // stopped a *capable* device over "nothing supports it".
+                Err(e) => return Err(last.unwrap_or(e)),
+            }
+        }
+    }
+
+    /// Routes and prewarms a recorded signature trace: each signature is
+    /// placed by the router (seeding the placement map) and its plan
+    /// built on the chosen backend. Returns how many signatures found a
+    /// home; unsupported ones are skipped.
+    pub fn warm(&self, sigs: &[PlanSignature]) -> usize {
+        sigs.iter().filter(|sig| self.replant(sig)).count()
+    }
+
+    /// The fleet-wide statistics snapshot: per-backend breakdown plus
+    /// the field-wise total.
+    pub fn stats(&self) -> FleetStats {
+        let per_device: Vec<DeviceStats> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, svc)| DeviceStats {
+                device: svc.hw().name,
+                alive: self.is_alive(i),
+                stats: svc.stats(),
+            })
+            .collect();
+        let total = per_device
+            .iter()
+            .fold(ServiceStats::default(), |acc, d| acc.merge(&d.stats));
+        FleetStats { total, per_device }
+    }
+
+    /// Simulates losing backend `index` and migrates its work so **no
+    /// ticket hangs**:
+    ///
+    /// 1. the backend is marked dead (the router stops choosing it) and
+    ///    its queue failed — the drainer finishes its current batch
+    ///    (those tickets resolve normally) and exits;
+    /// 2. placements pointing at it are retargeted (replicas promoted,
+    ///    orphaned keys dropped for fresh placement);
+    /// 3. its resident signatures are re-planned (prewarmed) on
+    ///    survivors, so the cache state migrates rather than restarts
+    ///    cold;
+    /// 4. its still-queued requests are re-routed to survivors — or,
+    ///    when no survivor supports one, resolved with
+    ///    `SvdError::Rejected`, so every outstanding [`Ticket::wait`]
+    ///    returns.
+    ///
+    /// The dead backend's `MemoryLedger` returns to zero (its device
+    /// memory is gone, and the accounting says so). Idempotent: failing
+    /// an already-dead backend is a no-op reporting zeros.
+    ///
+    /// # Panics
+    /// If `index` is out of range.
+    pub fn fail_device(&self, index: usize) -> FailoverReport {
+        assert!(index < self.backends.len(), "no backend {index}");
+        if self.dead[index].swap(true, Ordering::SeqCst) {
+            return FailoverReport::default();
+        }
+        let (orphans, resident) = self.backends[index].fail_for_reroute();
+        {
+            let mut map = self.router.lock();
+            map.retain(|_, pl| {
+                if pl.replica == Some(index) {
+                    pl.replica = None;
+                }
+                if pl.primary == index {
+                    match pl.replica.take() {
+                        Some(r) => {
+                            pl.primary = r;
+                            true
+                        }
+                        // No replica: drop the key; the next request
+                        // places it freshly among survivors.
+                        None => false,
+                    }
+                } else {
+                    true
+                }
+            });
+        }
+        let mut report = FailoverReport::default();
+        for sig in resident {
+            if self.replant(&sig) {
+                report.replanned += 1;
+            }
+        }
+        for p in orphans {
+            if self.reroute(p) {
+                report.rerouted += 1;
+            } else {
+                report.rejected += 1;
+            }
+        }
+        report
+    }
+
+    /// Routes `sig` afresh and prewarms its plan on the chosen backend.
+    /// Returns whether a home was found.
+    fn replant(&self, sig: &PlanSignature) -> bool {
+        match sig.precision {
+            PrecisionKind::Fp64 => self.replant_as::<f64>(sig),
+            PrecisionKind::Fp32 => self.replant_as::<f32>(sig),
+            PrecisionKind::Fp16 => self.replant_as::<F16>(sig),
+        }
+    }
+
+    fn replant_as<T: Scalar>(&self, sig: &PlanSignature) -> bool {
+        match self.place::<T>(sig.rows, sig.cols, &sig.config, sig.trace_only, 0) {
+            Ok(idx) => {
+                let target = sig.for_device(self.backends[idx].hw());
+                self.backends[idx].warm(&[target]);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-homes one stranded request; `true` when a survivor adopted
+    /// it, `false` when its ticket was resolved with a rejection (no
+    /// survivor supports it). Either way the ticket resolves.
+    fn reroute(&self, p: Pending) -> bool {
+        match p.sig.precision {
+            PrecisionKind::Fp64 => self.reroute_as::<f64>(p),
+            PrecisionKind::Fp32 => self.reroute_as::<f32>(p),
+            PrecisionKind::Fp16 => self.reroute_as::<F16>(p),
+        }
+    }
+
+    fn reroute_as<T: Scalar>(&self, mut p: Pending) -> bool {
+        let mut exclude = 0u64;
+        loop {
+            match self.place::<T>(
+                p.sig.rows,
+                p.sig.cols,
+                &p.sig.config,
+                p.sig.trace_only,
+                exclude,
+            ) {
+                Ok(idx) => {
+                    p.sig = p.sig.for_device(self.backends[idx].hw());
+                    match self.backends[idx].adopt(p) {
+                        Ok(()) => return true,
+                        // The adopter died concurrently; exclude it and
+                        // keep looking.
+                        Err(back) => {
+                            p = back;
+                            exclude |= 1 << idx;
+                        }
+                    }
+                }
+                Err(e) => {
+                    let Pending { resolver, .. } = p;
+                    resolver.resolve(Err(e.into()));
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// The placement decision for one request: looks up (or makes) the
+    /// route key's placement, bumps its served count, triggers hot
+    /// replication, and returns the target backend index. `exclude` is a
+    /// bitmask of backends the caller already tried (admission refusals,
+    /// concurrent deaths).
+    fn place<T: Scalar>(
+        &self,
+        rows: usize,
+        cols: usize,
+        cfg: &SvdConfig,
+        trace_only: bool,
+        exclude: u64,
+    ) -> Result<usize, ServiceError> {
+        let key = RouteKey {
+            precision: T::KIND,
+            rows,
+            cols,
+            config: *cfg,
+            trace_only,
+        };
+        let usable = |i: usize| !self.dead[i].load(Ordering::SeqCst) && exclude & (1 << i) == 0;
+        let mut warm_replica: Option<usize> = None;
+        let decision = {
+            let mut map = self.router.lock();
+            let routed = match map.get_mut(&key) {
+                Some(pl) => {
+                    let primary_ok = usable(pl.primary);
+                    let replica_ok = pl.replica.is_some_and(&usable);
+                    if primary_ok || replica_ok {
+                        if !primary_ok {
+                            pl.primary = pl.replica.take().expect("replica_ok implies a replica");
+                        } else if pl.replica.is_some() && !replica_ok {
+                            pl.replica = None;
+                        }
+                        pl.served += 1;
+                        // Hot: replicate to a second home so the load
+                        // (and the fault exposure) splits.
+                        if pl.replica.is_none()
+                            && self.replicate_after > 0
+                            && pl.served >= self.replicate_after
+                        {
+                            if let Some(r) = self.pick::<T>(
+                                rows,
+                                cols,
+                                cfg,
+                                trace_only,
+                                exclude | 1 << pl.primary,
+                            ) {
+                                pl.replica = Some(r);
+                                warm_replica = Some(r);
+                            }
+                        }
+                        // Alternate between the two homes by served
+                        // parity — deterministic for sequential callers.
+                        Some(match pl.replica {
+                            Some(r) if pl.served % 2 == 0 => r,
+                            _ => pl.primary,
+                        })
+                    } else {
+                        map.remove(&key);
+                        None
+                    }
+                }
+                None => None,
+            };
+            match routed {
+                Some(idx) => Ok(idx),
+                None => match self.pick::<T>(rows, cols, cfg, trace_only, exclude) {
+                    Some(primary) => {
+                        map.insert(
+                            key,
+                            Placement {
+                                primary,
+                                replica: None,
+                                served: 1,
+                            },
+                        );
+                        Ok(primary)
+                    }
+                    None => Err(ServiceError::NoDeviceSupports {
+                        signature: self.backends[0].signature::<T>(rows, cols, cfg),
+                    }),
+                },
+            }
+        };
+        // Prewarm the new replica outside the router lock (planning is
+        // expensive; routing must not serialize behind it).
+        if let Some(r) = warm_replica {
+            if !trace_only {
+                let sig = self.backends[r].signature::<T>(rows, cols, cfg);
+                self.backends[r].warm(&[sig]);
+            }
+        }
+        decision
+    }
+
+    /// Scores every usable backend for a fresh placement (see the
+    /// [router](crate::router) policy) and returns the best, or `None`
+    /// when no backend passes the support/capacity probe.
+    fn pick<T: Scalar>(
+        &self,
+        rows: usize,
+        cols: usize,
+        cfg: &SvdConfig,
+        trace_only: bool,
+        exclude: u64,
+    ) -> Option<usize> {
+        let mut candidates = Vec::with_capacity(self.backends.len());
+        for (i, svc) in self.backends.iter().enumerate() {
+            if self.dead[i].load(Ordering::SeqCst) || exclude & (1 << i) != 0 {
+                continue;
+            }
+            let mut probe = Svd::on(svc.hw()).precision::<T>().config(*cfg);
+            if trace_only {
+                probe = probe.trace_only();
+            }
+            // Table 2 support and device capacity, without building a
+            // plan: a rejection here is "route elsewhere".
+            let Ok(probe) = probe.probe(rows, cols) else {
+                continue;
+            };
+            let budget = svc.cache_budget_bytes();
+            let available = svc.cache_available_bytes();
+            candidates.push(Candidate {
+                index: i,
+                fits: probe.device_bytes <= available,
+                in_flight: svc.stats().queue.in_flight,
+                headroom: if budget == 0 {
+                    0.0
+                } else {
+                    available as f64 / budget as f64
+                },
+            });
+        }
+        best(&candidates)
+    }
+}
+
+impl std::fmt::Debug for SvdFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if self.is_alive(i) {
+                    s.hw().name
+                } else {
+                    "(dead)"
+                }
+            })
+            .collect();
+        write!(f, "SvdFleet({})", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisvd_gpu::hw;
+
+    #[test]
+    fn unsupported_precision_routes_to_capable_device() {
+        // mi250 (ROCm) has no FP16; m1_pro (Metal) has no FP64. Each
+        // request must land on the capable device even when the
+        // incapable one is listed first (lower index wins ties, so a
+        // wrong probe would route to index 0).
+        let cfg = SvdConfig::default();
+        let fp16_fleet = SvdFleet::new(&[hw::mi250(), hw::h100()]);
+        fp16_fleet
+            .solve(&Matrix::<F16>::identity(16), &cfg)
+            .expect("fp16 routes around mi250");
+        assert_eq!(fp16_fleet.backend(0).stats().cache.misses, 0);
+        assert_eq!(fp16_fleet.backend(1).stats().cache.misses, 1);
+        let fp64_fleet = SvdFleet::new(&[hw::m1_pro(), hw::h100()]);
+        fp64_fleet
+            .solve(&Matrix::<f64>::identity(16), &cfg)
+            .expect("fp64 routes around m1_pro");
+        assert_eq!(
+            fp64_fleet.backend(0).stats().cache.misses,
+            0,
+            "m1_pro must never see the fp64 request"
+        );
+        assert_eq!(fp64_fleet.backend(1).stats().cache.misses, 1);
+    }
+
+    #[test]
+    fn nothing_supports_it_is_a_typed_rejection() {
+        let fleet = SvdFleet::new(&[hw::mi250()]);
+        let cfg = SvdConfig::default();
+        let err = fleet
+            .solve(&Matrix::<F16>::identity(16), &cfg)
+            .expect_err("mi250 alone cannot serve fp16");
+        assert!(matches!(err, SvdError::Rejected { .. }));
+        let err = fleet
+            .submit(Matrix::<F16>::identity(16), &cfg)
+            .map(|_| ())
+            .expect_err("submit rejects identically");
+        assert!(matches!(err, ServiceError::NoDeviceSupports { .. }));
+    }
+
+    #[test]
+    fn hot_signature_gets_a_replica_and_alternates() {
+        let fleet = SvdFleet::builder()
+            .device(hw::h100())
+            .device(hw::a100())
+            .replicate_after(3)
+            .build();
+        let cfg = SvdConfig::default();
+        let a = Matrix::<f32>::identity(24);
+        for _ in 0..6 {
+            fleet.solve(&a, &cfg).expect("supported everywhere");
+        }
+        let resident: Vec<usize> = (0..2)
+            .map(|i| fleet.backend(i).stats().cache.resident_plans)
+            .collect();
+        assert_eq!(
+            resident,
+            vec![1, 1],
+            "after the hotness threshold the plan lives on both devices"
+        );
+        // Both homes actually serve traffic (alternation).
+        assert!(fleet.backend(0).stats().cache.hits >= 1);
+        assert!(fleet.backend(1).stats().cache.hits >= 1);
+    }
+
+    #[test]
+    fn fail_device_is_idempotent_and_migrates_residency() {
+        let fleet = SvdFleet::new(&[hw::h100(), hw::a100()]);
+        let cfg = SvdConfig::default();
+        let a = Matrix::<f32>::identity(32);
+        fleet.solve(&a, &cfg).expect("cold solve");
+        let served_by = (0..2)
+            .find(|&i| fleet.backend(i).stats().cache.resident_plans == 1)
+            .expect("someone cached the plan");
+        let report = fleet.fail_device(served_by);
+        assert_eq!(report.replanned, 1, "the resident signature migrated");
+        assert_eq!(report.rejected, 0);
+        assert!(!fleet.is_alive(served_by));
+        let survivor = 1 - served_by;
+        assert_eq!(
+            fleet.backend(survivor).stats().cache.resident_plans,
+            1,
+            "survivor holds the migrated plan"
+        );
+        assert_eq!(
+            fleet.backend(served_by).stats().cache.resident_bytes,
+            0,
+            "dead ledger returns to zero"
+        );
+        assert!(fleet.backend(survivor).ledger_in_balance());
+        // Idempotent.
+        assert_eq!(fleet.fail_device(served_by), FailoverReport::default());
+        // Traffic keeps flowing on the survivor — and the migrated plan
+        // makes the first post-failover request a cache *hit*.
+        let hits_before = fleet.backend(survivor).stats().cache.hits;
+        fleet.solve(&a, &cfg).expect("survivor serves");
+        assert_eq!(fleet.backend(survivor).stats().cache.hits, hits_before + 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! `unisvd-service`: a concurrent SVD serving layer with a sharded plan
-//! cache.
+//! cache — one device behind [`SvdService`], many heterogeneous devices
+//! behind [`SvdFleet`].
 //!
 //! The plan/execute API (`unisvd_core::Svd` → [`SvdPlan`]) makes
 //! planning expensive-once and solving cheap-many-times *within one
@@ -10,6 +11,7 @@
 //!
 //! * [`SvdService`] — accepts solve requests for arbitrary
 //!   `(m, n, precision, configuration)` combinations from any thread;
+//!   constructed with [`SvdService::builder`];
 //! * a **sharded plan cache** — N independently locked LRU shards keyed
 //!   by [`PlanSignature`], with an entry bound per shard and a global
 //!   device-memory budget (the `ExceedsDeviceMemory` headroom rule
@@ -25,13 +27,20 @@
 //!   with typed admission backpressure
 //!   ([`ServiceError::QueueFull`] / [`ServiceError::Shedding`]) when
 //!   the queue depth or device-memory headroom saturates
-//!   ([`QueueStats`] counts it all).
+//!   ([`QueueStats`] counts it all — one [`SvdService::stats`] call
+//!   snapshots cache and queue together as [`ServiceStats`]);
+//! * **fleet routing** — [`SvdFleet`] owns one service per device and
+//!   places each signature by plan-time support (the paper's Table 2
+//!   matrix), memory-ledger headroom, and observed load; hot signatures
+//!   replicate to a second device, and
+//!   [`fail_device`](SvdFleet::fail_device) migrates a lost device's
+//!   queue and cache to survivors without hanging a single ticket.
 //!
 //! The cardinal invariant, inherited from the core and preserved here:
 //! singular values served through the cache are **bit-identical** to
 //! values from a directly driven [`SvdPlan`], for every cached/uncached
 //! path and any thread count. `tests/determinism.rs` at the workspace
-//! root enforces it at 1, 4, and 8 threads.
+//! root enforces it at 1, 4, and 8 threads — fleet included.
 //!
 //! ```
 //! use unisvd_core::SvdConfig;
@@ -39,26 +48,31 @@
 //! use unisvd_matrix::Matrix;
 //! use unisvd_service::SvdService;
 //!
-//! let service = SvdService::new(&hw::h100());
+//! let service = SvdService::builder(&hw::h100()).build();
 //! let cfg = SvdConfig::default();
 //! // Mixed shapes and precisions through one shared service.
 //! let s32 = service.solve(&Matrix::<f32>::identity(32), &cfg)?;
 //! let s64 = service.solve(&Matrix::<f64>::identity(48), &cfg)?;
 //! assert!((s32.values[0] - 1.0).abs() < 1e-6);
 //! assert!((s64.values[0] - 1.0).abs() < 1e-12);
-//! assert_eq!(service.stats().misses, 2); // two distinct signatures
+//! assert_eq!(service.stats().cache.misses, 2); // two distinct signatures
 //! # Ok::<(), unisvd_core::SvdError>(())
 //! ```
 
 #![deny(missing_docs)]
 
 mod cache;
+mod fleet;
 mod lru;
 mod queue;
+mod router;
 mod service;
 mod ticket;
 
-pub use service::{CacheStats, QueueStats, ServiceConfig, ServiceError, SvdService};
+pub use fleet::{DeviceStats, FailoverReport, FleetBuilder, FleetStats, SvdFleet};
+#[allow(deprecated)]
+pub use service::ServiceConfig;
+pub use service::{CacheStats, QueueStats, ServiceBuilder, ServiceError, ServiceStats, SvdService};
 pub use ticket::Ticket;
 
 // Re-exported so service callers can name the cache key and the plan

@@ -86,6 +86,11 @@ impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
         assert!(prev.is_none(), "LruMap::insert over an existing key");
     }
 
+    /// The resident keys, in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
     /// The tick of the least-recently-inserted entry, if any — lets a
     /// global sweep compare shards without mutating them.
     pub fn lru_tick(&self) -> Option<u64> {

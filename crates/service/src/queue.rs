@@ -35,6 +35,11 @@ pub(crate) struct Pending {
 struct Inner {
     entries: VecDeque<Pending>,
     shutdown: bool,
+    /// Device loss: unlike `shutdown` (drain, then stop), a failed queue
+    /// stops *immediately* — `next_batch` returns exhaustion even with
+    /// entries queued (they will be re-routed, not executed here) and
+    /// every further push is refused.
+    failed: bool,
 }
 
 pub(crate) struct SubmitQueue {
@@ -49,6 +54,7 @@ impl SubmitQueue {
             inner: Mutex::new(Inner {
                 entries: VecDeque::new(),
                 shutdown: false,
+                failed: false,
             }),
             arrived: Condvar::new(),
         }
@@ -58,20 +64,38 @@ impl SubmitQueue {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Appends `p` unless the queue already holds `max_depth` entries;
-    /// returns whether it was accepted. The depth check and the append
-    /// are one critical section, so concurrent submitters can never
-    /// overshoot the bound.
-    pub fn try_push(&self, p: Pending, max_depth: usize) -> bool {
+    /// Appends `p` unless the queue already holds `max_depth` entries
+    /// (or has failed); on refusal the entry is handed back so the
+    /// caller can divert it — a fleet retries the next-best device —
+    /// instead of losing its ticket resolver. The depth check and the
+    /// append are one critical section, so concurrent submitters can
+    /// never overshoot the bound.
+    pub fn try_push(&self, p: Pending, max_depth: usize) -> Result<(), Pending> {
         {
             let mut g = self.lock();
-            if g.entries.len() >= max_depth.max(1) {
-                return false;
+            if g.failed || g.entries.len() >= max_depth.max(1) {
+                return Err(p);
             }
             g.entries.push_back(p);
         }
         self.arrived.notify_all();
-        true
+        Ok(())
+    }
+
+    /// [`try_push`](Self::try_push) for fleet re-routing: no depth bound
+    /// (the entry was admitted once already), and on refusal — this
+    /// queue failed too — the entry is handed back instead of dropped,
+    /// so its ticket's resolver survives for another route.
+    pub fn adopt_push(&self, p: Pending) -> Result<(), Pending> {
+        {
+            let mut g = self.lock();
+            if g.failed {
+                return Err(p);
+            }
+            g.entries.push_back(p);
+        }
+        self.arrived.notify_all();
+        Ok(())
     }
 
     /// Entries currently queued.
@@ -86,6 +110,21 @@ impl SubmitQueue {
     pub fn shutdown(&self) {
         self.lock().shutdown = true;
         self.arrived.notify_all();
+    }
+
+    /// Marks the queue failed (simulated device loss): `next_batch`
+    /// reports exhaustion immediately — *without* draining, unlike
+    /// [`shutdown`](Self::shutdown) — and every later push is refused.
+    /// Queued entries stay put for [`drain_remaining`](Self::drain_remaining).
+    pub fn fail(&self) {
+        self.lock().failed = true;
+        self.arrived.notify_all();
+    }
+
+    /// Removes and returns every queued entry, in arrival order — the
+    /// re-route inventory after [`fail`](Self::fail).
+    pub fn drain_remaining(&self) -> Vec<Pending> {
+        self.lock().entries.drain(..).collect()
     }
 
     /// Blocks until at least one entry is queued, then fills `batch`
@@ -103,7 +142,13 @@ impl SubmitQueue {
         batch.clear();
         let max_coalesce = max_coalesce.max(1);
         let mut g = self.lock();
-        while g.entries.is_empty() {
+        loop {
+            if g.failed {
+                return false;
+            }
+            if !g.entries.is_empty() {
+                break;
+            }
             if g.shutdown {
                 return false;
             }
@@ -114,7 +159,7 @@ impl SubmitQueue {
             let deadline = Instant::now() + window;
             loop {
                 let same = g.entries.iter().filter(|p| p.sig == sig).count();
-                if same >= max_coalesce || g.shutdown {
+                if same >= max_coalesce || g.shutdown || g.failed {
                     break;
                 }
                 let now = Instant::now();
@@ -129,6 +174,11 @@ impl SubmitQueue {
                 if result.timed_out() {
                     break;
                 }
+            }
+            // Failed while the batch was held open: leave everything
+            // queued for the re-route drain instead of executing it.
+            if g.failed {
+                return false;
             }
         }
         let mut i = 0;
@@ -175,9 +225,12 @@ mod tests {
     #[test]
     fn depth_bound_is_exact() {
         let q = SubmitQueue::new();
-        assert!(q.try_push(pending(8), 2));
-        assert!(q.try_push(pending(8), 2));
-        assert!(!q.try_push(pending(8), 2), "third entry exceeds depth 2");
+        assert!(q.try_push(pending(8), 2).is_ok());
+        assert!(q.try_push(pending(8), 2).is_ok());
+        assert!(
+            q.try_push(pending(8), 2).is_err(),
+            "third entry exceeds depth 2"
+        );
         assert_eq!(q.depth(), 2);
     }
 
@@ -187,7 +240,7 @@ mod tests {
         // Interleave two signatures; the first batch must take exactly
         // the head-signature entries, preserving their order.
         for rows in [8, 16, 8, 8, 16] {
-            assert!(q.try_push(pending(rows), 100));
+            assert!(q.try_push(pending(rows), 100).is_ok());
         }
         let mut batch = Vec::new();
         assert!(q.next_batch(Duration::ZERO, 64, &mut batch));
@@ -198,8 +251,8 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert!(batch.iter().all(|p| p.sig == sig(16)));
         // Cap: a bound of 1 splits a same-signature run.
-        assert!(q.try_push(pending(8), 100));
-        assert!(q.try_push(pending(8), 100));
+        assert!(q.try_push(pending(8), 100).is_ok());
+        assert!(q.try_push(pending(8), 100).is_ok());
         assert!(q.next_batch(Duration::ZERO, 1, &mut batch));
         assert_eq!(batch.len(), 1);
         assert_eq!(q.depth(), 1);
@@ -208,7 +261,7 @@ mod tests {
     #[test]
     fn shutdown_drains_then_reports_exhaustion() {
         let q = SubmitQueue::new();
-        assert!(q.try_push(pending(8), 100));
+        assert!(q.try_push(pending(8), 100).is_ok());
         q.shutdown();
         let mut batch = Vec::new();
         assert!(
@@ -220,13 +273,34 @@ mod tests {
     }
 
     #[test]
+    fn fail_stops_immediately_and_keeps_entries_for_reroute() {
+        let q = SubmitQueue::new();
+        assert!(q.try_push(pending(8), 100).is_ok());
+        assert!(q.try_push(pending(16), 100).is_ok());
+        q.fail();
+        let mut batch = Vec::new();
+        assert!(
+            !q.next_batch(Duration::ZERO, 64, &mut batch),
+            "a failed queue stops before draining (shutdown would drain)"
+        );
+        assert!(
+            q.try_push(pending(8), 100).is_err(),
+            "no admission after failure"
+        );
+        assert!(q.adopt_push(pending(8)).is_err(), "no adoption either");
+        let orphans = q.drain_remaining();
+        assert_eq!(orphans.len(), 2, "queued entries survive for re-routing");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
     fn window_waits_for_stragglers() {
         let q = SubmitQueue::new();
-        assert!(q.try_push(pending(8), 100));
+        assert!(q.try_push(pending(8), 100).is_ok());
         std::thread::scope(|s| {
             s.spawn(|| {
                 std::thread::sleep(Duration::from_millis(5));
-                assert!(q.try_push(pending(8), 100));
+                assert!(q.try_push(pending(8), 100).is_ok());
             });
             let mut batch = Vec::new();
             assert!(q.next_batch(Duration::from_millis(500), 2, &mut batch));

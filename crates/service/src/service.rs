@@ -12,7 +12,59 @@ use unisvd_gpu::{HardwareDescriptor, MemoryLedger};
 use unisvd_matrix::Matrix;
 use unisvd_scalar::{PrecisionKind, Scalar, F16};
 
+/// The service's internal tuning knobs — the non-deprecated owner of
+/// the values [`ServiceBuilder`] accumulates (and the deprecated
+/// [`ServiceConfig`] converts into).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Knobs {
+    /// Independently locked cache shards (`0` clamps to 1).
+    pub shards: usize,
+    /// Resident-plan bound per shard (`0` disables caching).
+    pub plans_per_shard: usize,
+    /// Device-memory budget for resident plans; `None` = device budget.
+    pub max_cache_bytes: Option<u64>,
+    /// Submission-queue depth bound (`0` clamps to 1).
+    pub max_queue_depth: usize,
+    /// Coalescing window the drainer holds a batch open for.
+    pub coalesce_window: Duration,
+    /// Most requests coalesced into one batched execute (`0` clamps to 1).
+    pub max_coalesce: usize,
+    /// Admission floor on ledger headroom; `0` disables shedding.
+    pub shed_headroom_bytes: u64,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            shards: 8,
+            plans_per_shard: 32,
+            max_cache_bytes: None,
+            max_queue_depth: 1024,
+            coalesce_window: Duration::from_micros(200),
+            max_coalesce: 64,
+            shed_headroom_bytes: 0,
+        }
+    }
+}
+
 /// Tuning knobs for an [`SvdService`]'s plan cache and submission queue.
+///
+/// Deprecated in favor of the builder — construct services with
+/// [`SvdService::builder`], which names every knob as a method instead
+/// of a struct literal (see the README migration table):
+///
+/// ```
+/// use unisvd_gpu::hw;
+/// use unisvd_service::SvdService;
+///
+/// let service = SvdService::builder(&hw::h100())
+///     .shards(4)
+///     .plans_per_shard(16)
+///     .queue_depth(256)
+///     .build();
+/// assert_eq!(service.hw().name, "NVIDIA H100");
+/// ```
+#[deprecated(note = "use `SvdService::builder(&hw)` and its knob methods instead")]
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Number of independently locked cache shards (`0` is clamped to
@@ -49,40 +101,166 @@ pub struct ServiceConfig {
     pub shed_headroom_bytes: u64,
 }
 
+#[allow(deprecated)]
 impl Default for ServiceConfig {
     fn default() -> Self {
+        let k = Knobs::default();
         ServiceConfig {
-            shards: 8,
-            plans_per_shard: 32,
-            max_cache_bytes: None,
-            max_queue_depth: 1024,
-            coalesce_window: Duration::from_micros(200),
-            max_coalesce: 64,
-            shed_headroom_bytes: 0,
+            shards: k.shards,
+            plans_per_shard: k.plans_per_shard,
+            max_cache_bytes: k.max_cache_bytes,
+            max_queue_depth: k.max_queue_depth,
+            coalesce_window: k.coalesce_window,
+            max_coalesce: k.max_coalesce,
+            shed_headroom_bytes: k.shed_headroom_bytes,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ServiceConfig> for Knobs {
+    fn from(cfg: ServiceConfig) -> Knobs {
+        Knobs {
+            shards: cfg.shards,
+            plans_per_shard: cfg.plans_per_shard,
+            max_cache_bytes: cfg.max_cache_bytes,
+            max_queue_depth: cfg.max_queue_depth,
+            coalesce_window: cfg.coalesce_window,
+            max_coalesce: cfg.max_coalesce,
+            shed_headroom_bytes: cfg.shed_headroom_bytes,
+        }
+    }
+}
+
+/// Accumulates an [`SvdService`]'s tuning knobs, then
+/// [`build`](Self::build)s it. Obtained from [`SvdService::builder`];
+/// every knob has the same default the old `ServiceConfig::default()`
+/// had, so `SvdService::builder(&hw).build()` ≡ `SvdService::new(&hw)`.
+///
+/// ```
+/// use std::time::Duration;
+/// use unisvd_gpu::hw;
+/// use unisvd_service::SvdService;
+///
+/// let service = SvdService::builder(&hw::mi250())
+///     .shards(2)
+///     .plans_per_shard(8)
+///     .memory_budget(64 << 20)
+///     .queue_depth(128)
+///     .coalesce_window(Duration::ZERO)
+///     .max_coalesce(16)
+///     .shed_headroom(1 << 20)
+///     .build();
+/// assert_eq!(service.cache_budget_bytes(), 64 << 20);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServiceBuilder {
+    hw: HardwareDescriptor,
+    knobs: Knobs,
+}
+
+impl ServiceBuilder {
+    /// Number of independently locked cache shards (`0` is clamped to
+    /// 1). More shards mean less lock contention between unrelated
+    /// signatures; the default (8) is ample for the lock hold times
+    /// involved (map operations only — never a solve).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.knobs.shards = shards;
+        self
+    }
+
+    /// Resident-plan bound per shard. `0` disables caching entirely:
+    /// every request plans from scratch (the cold-path baseline the
+    /// throughput bench measures against). Default 32.
+    pub fn plans_per_shard(mut self, plans: usize) -> Self {
+        self.knobs.plans_per_shard = plans;
+        self
+    }
+
+    /// Device-memory budget for all resident plans, in bytes. When not
+    /// set, the device's full budget applies (memory net of the 25%
+    /// workspace headroom — the same rule behind
+    /// `PlanError::ExceedsDeviceMemory`).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.knobs.max_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Submission-queue depth bound: [`SvdService::submit`] returns
+    /// [`ServiceError::QueueFull`] once this many requests are queued
+    /// unexecuted (`0` is clamped to 1). Default 1024.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.knobs.max_queue_depth = depth;
+        self
+    }
+
+    /// How long the drainer holds a batch open for further
+    /// same-signature arrivals after the first — the coalescing window.
+    /// `Duration::ZERO` batches only what is already queued. Default
+    /// 200 µs.
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.knobs.coalesce_window = window;
+        self
+    }
+
+    /// Most requests coalesced into one batched execute (`0` is clamped
+    /// to 1). Default 64, matching the batch executor's chunk bound.
+    pub fn max_coalesce(mut self, max: usize) -> Self {
+        self.knobs.max_coalesce = max;
+        self
+    }
+
+    /// Admission floor on device-memory headroom: a submission whose
+    /// plan is *not* resident (it may need new device memory) is refused
+    /// with [`ServiceError::Shedding`] while the cache ledger's
+    /// available bytes are below this. Resident-signature requests are
+    /// always admitted — they need no new memory. `0` (the default)
+    /// disables shedding.
+    pub fn shed_headroom(mut self, bytes: u64) -> Self {
+        self.knobs.shed_headroom_bytes = bytes;
+        self
+    }
+
+    /// The configured service.
+    pub fn build(self) -> SvdService {
+        SvdService::from_knobs(&self.hw, self.knobs)
     }
 }
 
 /// Typed backpressure from [`SvdService::submit`]: the request was
 /// refused *at admission* — nothing was queued, no ticket exists, and
 /// the caller should retry later or divert load.
+///
+/// Convertible into [`SvdError`] (as `SvdError::Rejected`) so callers
+/// mixing plan-level and service-level fallibility can `?` across both
+/// layers with one error type.
 #[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// The submission queue is at its depth bound
-    /// ([`ServiceConfig::max_queue_depth`]): the drainer is not keeping
+    /// ([`ServiceBuilder::queue_depth`]): the drainer is not keeping
     /// up with arrivals.
     QueueFull {
         /// The configured depth bound that was hit.
         depth: usize,
     },
     /// Device-memory headroom is below the admission floor
-    /// ([`ServiceConfig::shed_headroom_bytes`]) and this request's plan
+    /// ([`ServiceBuilder::shed_headroom`]) and this request's plan
     /// is not resident, so serving it could need memory the device
     /// cannot spare.
     Shedding {
         /// Ledger bytes still available when the request was refused.
         available_bytes: u64,
+    },
+    /// No device in the fleet can plan this signature: every backend
+    /// either rejects the `(backend, precision)` pair (the paper's
+    /// Table 2 support matrix) or lacks the device memory for the
+    /// shape. Only [`SvdFleet`](crate::SvdFleet) routing produces this —
+    /// a single service surfaces the underlying `PlanError` instead.
+    NoDeviceSupports {
+        /// The requested signature (its `device` field names the fleet's
+        /// first backend; the rejection applies to every backend).
+        signature: PlanSignature,
     },
 }
 
@@ -96,14 +274,30 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "shedding non-resident request ({available_bytes} bytes of headroom left)"
             ),
+            ServiceError::NoDeviceSupports { signature } => write!(
+                f,
+                "no fleet device supports {:?} {}x{} (trace_only: {})",
+                signature.precision, signature.rows, signature.cols, signature.trace_only
+            ),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
+impl From<ServiceError> for SvdError {
+    /// Folds an admission rejection into the plan API's error type (as
+    /// [`SvdError::Rejected`]) so a caller holding results from both
+    /// layers can `?` through one error type.
+    fn from(e: ServiceError) -> SvdError {
+        SvdError::Rejected {
+            reason: e.to_string(),
+        }
+    }
+}
+
 /// A point-in-time snapshot of the cache's behavior counters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests served by a resident plan.
     pub hits: u64,
@@ -156,23 +350,73 @@ pub struct QueueStats {
     /// `submitted - batches` once the queue is drained; the direct
     /// measure of cross-caller coalescing.
     pub coalesced: u64,
+    /// Requests accepted but not yet resolved, plus blocking solves in
+    /// progress — a *gauge*, not a counter: the instantaneous load the
+    /// fleet router compares across devices when placing a signature.
+    pub in_flight: u64,
 }
 
 impl std::fmt::Display for QueueStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} submitted ({} rejected, {} shed), {} batches, {} coalesced",
-            self.submitted, self.rejected, self.shed, self.batches, self.coalesced
+            "{} submitted ({} rejected, {} shed), {} batches, {} coalesced, {} in flight",
+            self.submitted, self.rejected, self.shed, self.batches, self.coalesced, self.in_flight
         )
     }
 }
 
+/// One coherent snapshot of a service: its plan-cache counters and its
+/// submission-queue counters, taken together. Returned by
+/// [`SvdService::stats`]; [`SvdFleet::stats`](crate::SvdFleet::stats)
+/// sums these across backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// The plan cache's counters and residency.
+    pub cache: CacheStats,
+    /// The submission queue's counters and in-flight gauge.
+    pub queue: QueueStats,
+}
+
+impl ServiceStats {
+    /// Field-wise sum — how a fleet aggregates per-backend snapshots
+    /// into one. Counters add; the residency and in-flight gauges add
+    /// too (total resident plans / total outstanding load across
+    /// devices).
+    pub fn merge(&self, other: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            cache: CacheStats {
+                hits: self.cache.hits + other.cache.hits,
+                misses: self.cache.misses + other.cache.misses,
+                evictions: self.cache.evictions + other.cache.evictions,
+                discards: self.cache.discards + other.cache.discards,
+                failures: self.cache.failures + other.cache.failures,
+                resident_plans: self.cache.resident_plans + other.cache.resident_plans,
+                resident_bytes: self.cache.resident_bytes + other.cache.resident_bytes,
+            },
+            queue: QueueStats {
+                submitted: self.queue.submitted + other.queue.submitted,
+                rejected: self.queue.rejected + other.queue.rejected,
+                shed: self.queue.shed + other.queue.shed,
+                batches: self.queue.batches + other.queue.batches,
+                coalesced: self.queue.coalesced + other.queue.coalesced,
+                in_flight: self.queue.in_flight + other.queue.in_flight,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cache: {}; queue: {}", self.cache, self.queue)
+    }
+}
+
 /// Everything the drainer thread shares with the request-facing handle.
-struct Inner {
+pub(crate) struct Inner {
     hw: HardwareDescriptor,
     cache: PlanCache,
-    knobs: ServiceConfig,
+    knobs: Knobs,
     queue: SubmitQueue,
     failures: AtomicU64,
     submitted: AtomicU64,
@@ -180,6 +424,24 @@ struct Inner {
     shed: AtomicU64,
     batches: AtomicU64,
     coalesced: AtomicU64,
+    /// The in-flight gauge behind [`QueueStats::in_flight`]: incremented
+    /// at admission (async) or entry (blocking), decremented at ticket
+    /// resolution or return.
+    in_flight: AtomicU64,
+}
+
+/// Decrements the in-flight gauge by a fixed amount on drop, so every
+/// exit path of a blocking solve — including error returns and
+/// panicking executes — restores the gauge.
+struct FlightGuard<'a> {
+    gauge: &'a AtomicU64,
+    n: u64,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(self.n, Ordering::Relaxed);
+    }
 }
 
 /// A concurrent SVD serving layer over one (simulated) device.
@@ -217,7 +479,7 @@ struct Inner {
 /// let cold = service.solve(&a, &cfg)?; // builds and caches the plan
 /// let warm = service.solve(&a, &cfg)?; // reuses it
 /// assert_eq!(cold.values, warm.values);
-/// assert_eq!(service.stats().hits, 1);
+/// assert_eq!(service.stats().cache.hits, 1);
 /// // Async: same results through a ticket.
 /// let ticket = service.submit(a.clone(), &cfg).expect("admitted");
 /// assert_eq!(ticket.wait()?.values, warm.values);
@@ -234,21 +496,37 @@ pub struct SvdService {
 impl SvdService {
     /// A service for device `hw` with the default cache configuration.
     pub fn new(hw: &HardwareDescriptor) -> Self {
-        Self::with_config(hw, ServiceConfig::default())
+        Self::builder(hw).build()
+    }
+
+    /// Starts configuring a service for device `hw`; finish with
+    /// [`ServiceBuilder::build`]. Every knob defaults to the value
+    /// [`new`](Self::new) uses.
+    pub fn builder(hw: &HardwareDescriptor) -> ServiceBuilder {
+        ServiceBuilder {
+            hw: hw.clone(),
+            knobs: Knobs::default(),
+        }
     }
 
     /// A service for device `hw` with explicit cache knobs.
+    #[deprecated(note = "use `SvdService::builder(&hw)` and its knob methods instead")]
+    #[allow(deprecated)]
     pub fn with_config(hw: &HardwareDescriptor, cfg: ServiceConfig) -> Self {
-        let budget = cfg.max_cache_bytes.unwrap_or_else(|| hw.budget_bytes());
+        Self::from_knobs(hw, cfg.into())
+    }
+
+    pub(crate) fn from_knobs(hw: &HardwareDescriptor, knobs: Knobs) -> Self {
+        let budget = knobs.max_cache_bytes.unwrap_or_else(|| hw.budget_bytes());
         SvdService {
             inner: Arc::new(Inner {
                 hw: hw.clone(),
                 cache: PlanCache::new(
-                    cfg.shards.max(1),
-                    cfg.plans_per_shard,
+                    knobs.shards.max(1),
+                    knobs.plans_per_shard,
                     MemoryLedger::new(budget),
                 ),
-                knobs: cfg,
+                knobs,
                 queue: SubmitQueue::new(),
                 failures: AtomicU64::new(0),
                 submitted: AtomicU64::new(0),
@@ -256,6 +534,7 @@ impl SvdService {
                 shed: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
             }),
             drainer: Mutex::new(None),
         }
@@ -311,6 +590,7 @@ impl SvdService {
         cfg: &SvdConfig,
         out: &mut SvdOutput,
     ) -> Result<(), SvdError> {
+        let _flight = self.inner.begin_flight(1);
         self.inner.solve_into(a, cfg, out)
     }
 
@@ -320,22 +600,43 @@ impl SvdService {
     /// same-signature request — from any caller — into one batched
     /// execute** ([`SvdPlan::execute_batch_refs_into`] fan-out on the
     /// work-stealing pool, held open for
-    /// [`ServiceConfig::coalesce_window`]), and resolves the tickets in
+    /// [`ServiceBuilder::coalesce_window`]), and resolves the tickets in
     /// arrival order. [`Ticket::wait`] returns exactly what
     /// [`solve`](Self::solve) would have: bit-identical values, and
     /// per-request errors that never poison the rest of a batch.
     ///
     /// # Errors
     /// Admission backpressure only — [`ServiceError::QueueFull`] when
-    /// the queue is at [`ServiceConfig::max_queue_depth`], and
+    /// the queue is at [`ServiceBuilder::queue_depth`], and
     /// [`ServiceError::Shedding`] when device-memory headroom is below
-    /// [`ServiceConfig::shed_headroom_bytes`] and no plan for this
+    /// [`ServiceBuilder::shed_headroom`] and no plan for this
     /// signature is resident. On `Err` nothing was enqueued (the matrix
     /// is dropped); solve-time errors arrive through the ticket instead.
     pub fn submit<T: Scalar>(&self, a: Matrix<T>, cfg: &SvdConfig) -> Result<Ticket, ServiceError> {
-        let inner = &self.inner;
         let sig = self.signature::<T>(a.rows(), a.cols(), cfg);
-        if inner.knobs.shed_headroom_bytes > 0 && !inner.cache.contains(&sig) {
+        let (ticket, resolver) = ticket_pair();
+        let pending = Pending {
+            sig,
+            mat: Box::new(a),
+            resolver,
+        };
+        match self.submit_pending(pending) {
+            Ok(()) => Ok(ticket),
+            Err((_, e)) => Err(e),
+        }
+    }
+
+    /// [`submit`](Self::submit)'s admission core, over an assembled
+    /// [`Pending`]: applies the shedding floor and the queue depth
+    /// bound, and on refusal hands the entry back with the typed error —
+    /// so a fleet can divert the same request (resolver intact) to
+    /// another backend instead of failing it. The `Err` variant is
+    /// deliberately by-value: boxing the handed-back entry would charge
+    /// an allocation to every refusal on the re-route path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn submit_pending(&self, p: Pending) -> Result<(), (Pending, ServiceError)> {
+        let inner = &self.inner;
+        if inner.knobs.shed_headroom_bytes > 0 && !inner.cache.contains(&p.sig) {
             // The request may need new device memory; refuse while the
             // ledger is too close to its budget. (Benign races with
             // concurrent publishes make this a heuristic floor, not an
@@ -344,24 +645,38 @@ impl SvdService {
             let available_bytes = inner.cache.available_bytes();
             if available_bytes < inner.knobs.shed_headroom_bytes {
                 inner.shed.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::Shedding { available_bytes });
+                return Err((p, ServiceError::Shedding { available_bytes }));
             }
         }
-        let (ticket, resolver) = ticket_pair();
-        let pending = Pending {
-            sig,
-            mat: Box::new(a),
-            resolver,
-        };
-        if !inner.queue.try_push(pending, inner.knobs.max_queue_depth) {
+        if let Err(p) = inner.queue.try_push(p, inner.knobs.max_queue_depth) {
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(ServiceError::QueueFull {
-                depth: inner.knobs.max_queue_depth,
-            });
+            return Err((
+                p,
+                ServiceError::QueueFull {
+                    depth: inner.knobs.max_queue_depth,
+                },
+            ));
         }
         inner.submitted.fetch_add(1, Ordering::Relaxed);
+        inner.in_flight.fetch_add(1, Ordering::Relaxed);
         self.ensure_drainer();
-        Ok(ticket)
+        Ok(())
+    }
+
+    /// Adopts an already-admitted request from another backend — fleet
+    /// re-routing after a device loss. Bypasses admission control (the
+    /// request was admitted once; refusing it now would strand a live
+    /// ticket): the push ignores the depth bound and the shedding floor.
+    /// The caller has already retargeted `p.sig` to this device. Fails
+    /// (returning the pending untouched) only when this queue itself is
+    /// failed.
+    pub(crate) fn adopt(&self, p: Pending) -> Result<(), Pending> {
+        let inner = &self.inner;
+        inner.queue.adopt_push(p)?;
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.ensure_drainer();
+        Ok(())
     }
 
     /// Spawns the drainer thread if it is not running yet.
@@ -376,6 +691,33 @@ impl SvdService {
                     .expect("spawning the drainer thread"),
             );
         }
+    }
+
+    /// Simulates losing this device: fails the queue (no further
+    /// admissions), joins the drainer after its current batch (whose
+    /// tickets resolve normally), then hands back everything stranded —
+    /// the still-queued requests (their tickets unresolved, for
+    /// re-routing) and the signatures that were resident in the plan
+    /// cache (for re-planning on survivors). The cache is cleared and
+    /// its ledger returns to zero. Fleet failover plumbing
+    /// ([`SvdFleet::fail_device`](crate::SvdFleet::fail_device)).
+    pub(crate) fn fail_for_reroute(&self) -> (Vec<Pending>, Vec<PlanSignature>) {
+        self.inner.queue.fail();
+        let handle = self
+            .drainer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        let orphans = self.inner.queue.drain_remaining();
+        self.inner
+            .in_flight
+            .fetch_sub(orphans.len() as u64, Ordering::Relaxed);
+        let resident = self.inner.cache.resident_signatures();
+        self.inner.cache.clear();
+        (orphans, resident)
     }
 
     /// Prewarms the plan cache from a recorded signature trace: builds
@@ -430,40 +772,55 @@ impl SvdService {
         mats: &[Matrix<T>],
         cfg: &SvdConfig,
     ) -> Vec<Result<SvdOutput, SvdError>> {
+        let _flight = self.inner.begin_flight(mats.len() as u64);
         self.inner.solve_batch(mats, cfg)
     }
 
-    /// A snapshot of the cache counters and residency.
-    pub fn stats(&self) -> CacheStats {
+    /// One coherent snapshot of the cache counters/residency and the
+    /// queue counters/in-flight gauge.
+    pub fn stats(&self) -> ServiceStats {
         let inner = &self.inner;
         let (hits, misses, evictions, discards) = inner.cache.counter_values();
         let (resident_plans, resident_bytes) = inner.cache.resident();
-        CacheStats {
-            hits,
-            misses,
-            evictions,
-            discards,
-            failures: inner.failures.load(Ordering::Relaxed),
-            resident_plans,
-            resident_bytes,
-        }
-    }
-
-    /// A snapshot of the submission queue's counters.
-    pub fn queue_stats(&self) -> QueueStats {
-        let inner = &self.inner;
-        QueueStats {
-            submitted: inner.submitted.load(Ordering::Relaxed),
-            rejected: inner.rejected.load(Ordering::Relaxed),
-            shed: inner.shed.load(Ordering::Relaxed),
-            batches: inner.batches.load(Ordering::Relaxed),
-            coalesced: inner.coalesced.load(Ordering::Relaxed),
+        ServiceStats {
+            cache: CacheStats {
+                hits,
+                misses,
+                evictions,
+                discards,
+                failures: inner.failures.load(Ordering::Relaxed),
+                resident_plans,
+                resident_bytes,
+            },
+            queue: QueueStats {
+                submitted: inner.submitted.load(Ordering::Relaxed),
+                rejected: inner.rejected.load(Ordering::Relaxed),
+                shed: inner.shed.load(Ordering::Relaxed),
+                batches: inner.batches.load(Ordering::Relaxed),
+                coalesced: inner.coalesced.load(Ordering::Relaxed),
+                in_flight: inner.in_flight.load(Ordering::Relaxed),
+            },
         }
     }
 
     /// The device-memory budget resident plans must fit in, bytes.
     pub fn cache_budget_bytes(&self) -> u64 {
         self.inner.cache.budget_bytes()
+    }
+
+    /// Ledger bytes still unreserved — the headroom a new resident plan
+    /// could claim. With [`cache_budget_bytes`](Self::cache_budget_bytes)
+    /// this is the headroom-fraction input of fleet placement.
+    pub fn cache_available_bytes(&self) -> u64 {
+        self.inner.cache.available_bytes()
+    }
+
+    /// Whether the cache's memory ledger exactly matches the bytes its
+    /// shards pin — the accounting audit failover tests assert on
+    /// survivors. Exact only at quiescence (a checkout in flight briefly
+    /// holds bytes outside any shard).
+    pub fn ledger_in_balance(&self) -> bool {
+        self.inner.cache.in_balance()
     }
 }
 
@@ -493,6 +850,15 @@ impl std::fmt::Debug for SvdService {
 impl Inner {
     fn builder<T: Scalar>(&self, cfg: &SvdConfig) -> Svd<T> {
         Svd::on(&self.hw).precision::<T>().config(*cfg)
+    }
+
+    /// Raises the in-flight gauge by `n` until the returned guard drops.
+    fn begin_flight(&self, n: u64) -> FlightGuard<'_> {
+        self.in_flight.fetch_add(n, Ordering::Relaxed);
+        FlightGuard {
+            gauge: &self.in_flight,
+            n,
+        }
     }
 
     /// Checks a plan for `sig` out of the cache, or builds one. The plan
@@ -667,11 +1033,16 @@ impl Inner {
         outs: &mut Vec<SvdOutput>,
         statuses: &mut Vec<Result<(), SvdError>>,
     ) {
+        let n = batch.len() as u64;
         let sig = batch[0].sig;
         let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, &sig.config) {
             Ok(found) => found,
             Err(e) => {
                 self.record_failures(batch.len());
+                // Decrement before resolving: a waiter unblocked by the
+                // resolve must never observe its own request still
+                // counted in flight.
+                self.in_flight.fetch_sub(n, Ordering::Relaxed);
                 for p in batch.drain(..) {
                     p.resolver.resolve(Err(e.clone()));
                 }
@@ -702,6 +1073,9 @@ impl Inner {
         }
         self.publish(sig, plan);
         self.record_failures(statuses.iter().filter(|s| s.is_err()).count());
+        // Same ordering rule as the plan-failure path above: the gauge
+        // drops before any waiter can return from `Ticket::wait`.
+        self.in_flight.fetch_sub(n as u64, Ordering::Relaxed);
         for (i, p) in batch.drain(..).enumerate() {
             let result = match std::mem::replace(&mut statuses[i], Ok(())) {
                 Ok(()) => Ok(std::mem::replace(&mut outs[i], SvdOutput::empty())),

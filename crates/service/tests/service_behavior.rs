@@ -9,7 +9,7 @@ use unisvd_core::{Svd, SvdConfig, SvdError};
 use unisvd_gpu::hw::{h100, mi250};
 use unisvd_matrix::{testmat, Matrix, SvDistribution};
 use unisvd_scalar::F16;
-use unisvd_service::{ServiceConfig, ServiceError, SvdService};
+use unisvd_service::{ServiceError, SvdService};
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -35,7 +35,7 @@ fn cached_and_uncached_solves_match_direct_plan_bits() {
     let warm = service.solve(&a, &cfg).unwrap();
     assert_eq!(bits(&cold.values), bits(&direct.values));
     assert_eq!(bits(&warm.values), bits(&direct.values));
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!((stats.hits, stats.misses), (1, 1));
     assert_eq!(stats.resident_plans, 1);
     assert_eq!(stats.resident_bytes, plan.device_bytes());
@@ -64,48 +64,38 @@ fn cold_solve_costs_more_host_overhead_than_warm() {
 fn eviction_under_tight_entry_capacity() {
     // One shard, two resident plans max: the third distinct signature
     // must evict the least-recently-used one.
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 1,
-            plans_per_shard: 2,
-            max_cache_bytes: None,
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .shards(1)
+        .plans_per_shard(2)
+        .build();
     let cfg = SvdConfig::default();
     for n in [16, 24, 32] {
         service.solve(&random_square(n, n as u64), &cfg).unwrap();
     }
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.misses, 3);
     assert_eq!(stats.evictions, 1);
     assert_eq!(stats.resident_plans, 2);
     // The evicted signature (16, the oldest) misses again; 32 still hits.
     service.solve(&random_square(32, 32), &cfg).unwrap();
     service.solve(&random_square(16, 16), &cfg).unwrap();
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.hits, 1);
     assert_eq!(stats.misses, 4);
 }
 
 #[test]
 fn zero_capacity_disables_caching() {
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 4,
-            plans_per_shard: 0,
-            max_cache_bytes: None,
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .shards(4)
+        .plans_per_shard(0)
+        .build();
     let cfg = SvdConfig::default();
     let a = random_square(24, 9);
     let first = service.solve(&a, &cfg).unwrap();
     let second = service.solve(&a, &cfg).unwrap();
     assert_eq!(bits(&first.values), bits(&second.values));
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.hits, 0);
     assert_eq!(stats.misses, 2);
     assert_eq!(stats.discards, 2, "every returned plan is dropped");
@@ -123,20 +113,16 @@ fn memory_budget_bounds_resident_bytes() {
         .plan(64, 64)
         .unwrap();
     let one = probe.device_bytes();
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 1,
-            plans_per_shard: 8,
-            max_cache_bytes: Some(one + one / 2),
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .shards(1)
+        .plans_per_shard(8)
+        .memory_budget(one + one / 2)
+        .build();
     // Two same-footprint signatures: the second insert must evict the
     // first (entry capacity allows both; memory does not).
     service.solve(&random_square(64, 10), &cfg).unwrap();
     service.solve(&random_square(63, 11), &cfg).unwrap(); // same padded size
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.evictions, 1);
     assert_eq!(stats.resident_plans, 1);
     assert!(stats.resident_bytes <= service.cache_budget_bytes());
@@ -145,18 +131,14 @@ fn memory_budget_bounds_resident_bytes() {
 #[test]
 fn plan_larger_than_budget_is_discarded_not_cached() {
     let cfg = SvdConfig::default();
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 1,
-            plans_per_shard: 8,
-            max_cache_bytes: Some(1024), // smaller than any real plan
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .shards(1)
+        .plans_per_shard(8)
+        .memory_budget(1024) // smaller than any real plan
+        .build();
     let out = service.solve(&random_square(32, 12), &cfg).unwrap();
     assert!(!out.values.is_empty());
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.discards, 1);
     assert_eq!(stats.resident_plans, 0);
 }
@@ -171,7 +153,7 @@ fn solve_batch_coalesces_and_matches_individual_solves() {
     let service = SvdService::new(&h100());
     let batched = service.solve_batch(&mats, &cfg);
     assert_eq!(batched.len(), 9);
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(
         stats.misses, 3,
         "one plan build per distinct shape, not per request"
@@ -185,8 +167,8 @@ fn solve_batch_coalesces_and_matches_individual_solves() {
     }
     // A second batch is served entirely from cache.
     let rebatched = service.solve_batch(&mats, &cfg);
-    assert_eq!(service.stats().misses, 3);
-    assert_eq!(service.stats().hits, 3);
+    assert_eq!(service.stats().cache.misses, 3);
+    assert_eq!(service.stats().cache.hits, 3);
     for (first, second) in batched.iter().zip(&rebatched) {
         assert_eq!(
             bits(&first.as_ref().unwrap().values),
@@ -208,7 +190,7 @@ fn error_parity_with_the_plan_api() {
     ));
     let batch = service.solve_batch(&[a], &cfg);
     assert!(matches!(batch[0], Err(SvdError::Unsupported(_))));
-    assert_eq!(service.stats().resident_plans, 0);
+    assert_eq!(service.stats().cache.resident_plans, 0);
 }
 
 #[test]
@@ -220,7 +202,7 @@ fn precisions_get_distinct_signatures() {
     assert_ne!(sig32, sig64);
     service.solve(&Matrix::<f32>::identity(32), &cfg).unwrap();
     service.solve(&Matrix::<f64>::identity(32), &cfg).unwrap();
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.misses, 2, "f32 and f64 plans must not collide");
     assert_eq!(stats.resident_plans, 2);
 }
@@ -256,7 +238,7 @@ fn concurrent_mixed_workload_is_consistent() {
             });
         }
     });
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.hits + stats.misses, (THREADS * ROUNDS) as u64);
     assert!(stats.misses >= shapes.len() as u64);
     assert!(stats.resident_plans <= shapes.len() + stats.discards as usize);
@@ -277,7 +259,7 @@ fn warm_from_signature_trace_eliminates_cold_start_misses() {
     sigs.push(foreign);
     let built = service.warm(&sigs);
     assert_eq!(built, 3, "three local signatures, one foreign skipped");
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(stats.resident_plans, 3);
     assert_eq!(
         (stats.hits, stats.misses),
@@ -291,7 +273,7 @@ fn warm_from_signature_trace_eliminates_cold_start_misses() {
     let mut rng = StdRng::seed_from_u64(9);
     let a64 = testmat::test_matrix::<f64, _>(16, SvDistribution::Arithmetic, false, &mut rng).0;
     service.solve(&a64, &cfg).unwrap();
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!((stats.hits, stats.misses), (3, 0));
     // Re-warming already-resident signatures builds nothing.
     assert_eq!(service.warm(&sigs), 0);
@@ -318,32 +300,28 @@ fn hot_plan_survives_memory_pressure_from_other_shards() {
     let cfg = SvdConfig::default();
     let probe = SvdService::new(&h100());
     probe.solve(&random_square(24, 0), &cfg).unwrap();
-    let one_plan = probe.stats().resident_bytes;
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 8,
-            plans_per_shard: 8,
-            max_cache_bytes: Some(one_plan * 2 + one_plan / 2),
-            ..ServiceConfig::default()
-        },
-    );
+    let one_plan = probe.stats().cache.resident_bytes;
+    let service = SvdService::builder(&h100())
+        .shards(8)
+        .plans_per_shard(8)
+        .memory_budget(one_plan * 2 + one_plan / 2)
+        .build();
     service.solve(&random_square(24, 1), &cfg).unwrap(); // shape A
     service.solve(&random_square(28, 2), &cfg).unwrap(); // shape B
     service.solve(&random_square(24, 3), &cfg).unwrap(); // A again: hot
-    let before = service.stats();
+    let before = service.stats().cache;
     assert_eq!(before.resident_plans, 2);
     // Pressure from a third shape: the global LRU (B) is evicted even
     // though the insert happens on a different shard.
     service.solve(&random_square(32, 4), &cfg).unwrap(); // shape C
-    let after = service.stats();
+    let after = service.stats().cache;
     assert_eq!(after.evictions - before.evictions, 1);
     assert_eq!(after.resident_plans, 2);
     // A is still resident (hit); B was evicted (miss).
     service.solve(&random_square(24, 5), &cfg).unwrap();
-    assert_eq!(service.stats().hits, before.hits + 1);
+    assert_eq!(service.stats().cache.hits, before.hits + 1);
     service.solve(&random_square(28, 6), &cfg).unwrap();
-    assert_eq!(service.stats().misses, before.misses + 2);
+    assert_eq!(service.stats().cache.misses, before.misses + 2);
 }
 
 #[test]
@@ -395,7 +373,7 @@ fn submitted_tickets_match_blocking_solves() {
             "async result must be bit-identical to the blocking solve"
         );
     }
-    let qs = service.queue_stats();
+    let qs = service.stats().queue;
     assert_eq!(qs.submitted, 6);
     assert_eq!((qs.rejected, qs.shed), (0, 0));
     assert_eq!(
@@ -403,6 +381,7 @@ fn submitted_tickets_match_blocking_solves() {
         qs.submitted - qs.batches,
         "every non-head batch member counts as coalesced"
     );
+    assert_eq!(qs.in_flight, 0, "all tickets resolved, nothing in flight");
 }
 
 #[test]
@@ -411,14 +390,10 @@ fn coalescer_groups_cross_caller_submissions_into_one_batch() {
     // max_coalesce equal to the request count: the drainer must close
     // exactly one batch covering every submission.
     const REQUESTS: usize = 8;
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            coalesce_window: Duration::from_secs(10),
-            max_coalesce: REQUESTS,
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .coalesce_window(Duration::from_secs(10))
+        .max_coalesce(REQUESTS)
+        .build();
     let cfg = SvdConfig::default();
     let oracle = bits(
         &SvdService::new(&h100())
@@ -442,10 +417,10 @@ fn coalescer_groups_cross_caller_submissions_into_one_batch() {
     for ticket in tickets {
         assert_eq!(bits(&ticket.wait().unwrap().values), oracle);
     }
-    let qs = service.queue_stats();
+    let qs = service.stats().queue;
     assert_eq!(qs.batches, 1, "one coalesced batch for all callers");
     assert_eq!(qs.coalesced, (REQUESTS - 1) as u64);
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(
         stats.hits + stats.misses,
         1,
@@ -458,15 +433,11 @@ fn queue_full_backpressure_rejects_at_admission() {
     // Depth bound 1 and a long window: the first submission sits in the
     // queue while the drainer holds its batch open, so the second is
     // refused deterministically.
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            max_queue_depth: 1,
-            coalesce_window: Duration::from_secs(30),
-            max_coalesce: 8,
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .queue_depth(1)
+        .coalesce_window(Duration::from_secs(30))
+        .max_coalesce(8)
+        .build();
     let cfg = SvdConfig::default();
     let a = random_square(16, 3);
     let ticket = service.submit(a.clone(), &cfg).expect("first fits");
@@ -474,7 +445,7 @@ fn queue_full_backpressure_rejects_at_admission() {
         Err(ServiceError::QueueFull { depth }) => assert_eq!(depth, 1),
         other => panic!("expected QueueFull, got {other:?}"),
     }
-    assert_eq!(service.queue_stats().rejected, 1);
+    assert_eq!(service.stats().queue.rejected, 1);
     // Shutdown closes the window early and still resolves the accepted
     // submission — no accepted ticket is lost to backpressure elsewhere.
     let oracle = bits(&SvdService::new(&h100()).solve(&a, &cfg).unwrap().values);
@@ -494,16 +465,12 @@ fn shedding_refuses_non_resident_requests_when_headroom_is_low() {
     // Budget fits one plan plus a sliver; the shedding floor is far
     // above the sliver, so once a plan is resident only its own
     // signature stays admissible.
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 1,
-            plans_per_shard: 8,
-            max_cache_bytes: Some(one + 64),
-            shed_headroom_bytes: one / 2,
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .shards(1)
+        .plans_per_shard(8)
+        .memory_budget(one + 64)
+        .shed_headroom(one / 2)
+        .build();
     let a = random_square(16, 4);
     service.solve(&a, &cfg).unwrap(); // make the 16x16 plan resident
     let warm_ticket = service
@@ -516,7 +483,7 @@ fn shedding_refuses_non_resident_requests_when_headroom_is_low() {
         }
         other => panic!("expected Shedding, got {other:?}"),
     }
-    assert_eq!(service.queue_stats().shed, 1);
+    assert_eq!(service.stats().queue.shed, 1);
 }
 
 #[test]
@@ -538,7 +505,7 @@ fn one_poisoned_request_fails_alone_in_a_coalesced_group() {
         good[2].clone(),
         good[3].clone(),
     ];
-    let failures_before = service.stats().failures;
+    let failures_before = service.stats().cache.failures;
     let results = service.solve_batch(&mats, &cfg);
     assert!(matches!(results[2], Err(SvdError::NoConvergence(_))));
     for (r, expect) in results
@@ -550,21 +517,17 @@ fn one_poisoned_request_fails_alone_in_a_coalesced_group() {
         assert_eq!(&bits(&r.as_ref().unwrap().values), expect);
     }
     assert_eq!(
-        service.stats().failures - failures_before,
+        service.stats().cache.failures - failures_before,
         1,
         "exactly the poisoned request counts as a failure"
     );
 
     // Same through the async coalescer: force one batch containing the
     // poison and assert only its ticket errors.
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            coalesce_window: Duration::from_secs(10),
-            max_coalesce: 5,
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .coalesce_window(Duration::from_secs(10))
+        .max_coalesce(5)
+        .build();
     let tickets: Vec<_> = mats
         .iter()
         .map(|a| service.submit(a.clone(), &cfg).expect("admitted"))
@@ -578,8 +541,8 @@ fn one_poisoned_request_fails_alone_in_a_coalesced_group() {
             assert_eq!(&bits(&result.unwrap().values), expect);
         }
     }
-    assert_eq!(service.stats().failures, 1);
-    assert_eq!(service.queue_stats().batches, 1, "one coalesced batch");
+    assert_eq!(service.stats().cache.failures, 1);
+    assert_eq!(service.stats().queue.batches, 1, "one coalesced batch");
 }
 
 #[test]
@@ -588,15 +551,11 @@ fn failing_requests_never_leak_ledger_budget() {
     // whose publishes are all rejected (the plan alone exceeds the
     // cache budget) and whose solves all fail must leave the ledger
     // exactly where it started — zero resident bytes.
-    let service = SvdService::with_config(
-        &h100(),
-        ServiceConfig {
-            shards: 2,
-            plans_per_shard: 4,
-            max_cache_bytes: Some(1024), // smaller than any real plan
-            ..ServiceConfig::default()
-        },
-    );
+    let service = SvdService::builder(&h100())
+        .shards(2)
+        .plans_per_shard(4)
+        .memory_budget(1024) // smaller than any real plan
+        .build();
     let cfg = SvdConfig::default();
     let bad = poison(24);
     for _ in 0..5 {
@@ -607,7 +566,7 @@ fn failing_requests_never_leak_ledger_budget() {
         let ticket = service.submit(bad.clone(), &cfg).expect("admitted");
         assert!(matches!(ticket.wait(), Err(SvdError::NoConvergence(_))));
     }
-    let stats = service.stats();
+    let stats = service.stats().cache;
     assert_eq!(
         stats.resident_bytes, 0,
         "every rejected publish must return its reservation"
@@ -621,17 +580,40 @@ fn failing_requests_never_leak_ledger_budget() {
 fn warm_reports_zero_when_caching_is_disabled() {
     // plans_per_shard = 0 disables caching; publish declines every plan,
     // so warm must not claim readiness it did not achieve.
+    let service = SvdService::builder(&h100())
+        .shards(4)
+        .plans_per_shard(0)
+        .build();
+    let cfg = SvdConfig::default();
+    let sigs = [service.signature::<f32>(24, 24, &cfg)];
+    assert_eq!(service.warm(&sigs), 0);
+    assert_eq!(service.stats().cache.resident_plans, 0);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_service_config_still_compiles_and_works() {
+    // The pre-builder construction path stays source-compatible for one
+    // release: `ServiceConfig` + `with_config` must keep producing a
+    // service equivalent to the builder's.
+    use unisvd_service::ServiceConfig;
     let service = SvdService::with_config(
         &h100(),
         ServiceConfig {
-            shards: 4,
-            plans_per_shard: 0,
-            max_cache_bytes: None,
+            shards: 1,
+            plans_per_shard: 2,
             ..ServiceConfig::default()
         },
     );
     let cfg = SvdConfig::default();
-    let sigs = [service.signature::<f32>(24, 24, &cfg)];
-    assert_eq!(service.warm(&sigs), 0);
-    assert_eq!(service.stats().resident_plans, 0);
+    let a = random_square(24, 77);
+    let legacy = service.solve(&a, &cfg).unwrap();
+    let modern = SvdService::builder(&h100())
+        .shards(1)
+        .plans_per_shard(2)
+        .build()
+        .solve(&a, &cfg)
+        .unwrap();
+    assert_eq!(bits(&legacy.values), bits(&modern.values));
+    assert_eq!(service.stats().cache.misses, 1);
 }

@@ -21,7 +21,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
-use unisvd::{hw, Matrix, ServiceConfig, ServiceError, SvDistribution, SvdConfig, SvdService};
+use unisvd::{hw, Matrix, ServiceError, SvDistribution, SvdConfig, SvdService};
 
 const CLIENTS: usize = 6;
 const BURST: usize = 8;
@@ -34,15 +34,11 @@ fn request(n: usize, seed: u64) -> Matrix<f32> {
 
 fn main() {
     let cfg = SvdConfig::default();
-    let service = SvdService::with_config(
-        &hw::h100(),
-        ServiceConfig {
-            // Hold each batch open a little longer than the default so
-            // every client's burst lands inside one window.
-            coalesce_window: Duration::from_millis(5),
-            ..ServiceConfig::default()
-        },
-    );
+    // Hold each batch open a little longer than the default so every
+    // client's burst lands inside one window.
+    let service = SvdService::builder(&hw::h100())
+        .coalesce_window(Duration::from_millis(5))
+        .build();
     println!(
         "svd_async_server: {CLIENTS} clients x {BURST} submissions, shapes {SHAPES:?}, \
          one shared service on {}",
@@ -74,30 +70,25 @@ fn main() {
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let qs = service.queue_stats();
     let stats = service.stats();
     println!("\nafter the async burst ({wall_ms:.1} ms wall):");
-    println!("  {qs}");
-    println!("  {stats}");
+    println!("  {}", stats.queue);
+    println!("  {}", stats.cache);
     println!(
         "  {} submissions served by {} plan checkouts — {} rode along in a \
          batch opened by another caller",
-        qs.submitted,
-        stats.hits + stats.misses,
-        qs.coalesced
+        stats.queue.submitted,
+        stats.cache.hits + stats.cache.misses,
+        stats.queue.coalesced
     );
 
     // Backpressure: a deliberately tiny queue with a long window keeps
     // the first submission parked, so the second bounces with a typed
     // error the client can retry on.
-    let tiny = SvdService::with_config(
-        &hw::h100(),
-        ServiceConfig {
-            max_queue_depth: 1,
-            coalesce_window: Duration::from_secs(1),
-            ..ServiceConfig::default()
-        },
-    );
+    let tiny = SvdService::builder(&hw::h100())
+        .queue_depth(1)
+        .coalesce_window(Duration::from_secs(1))
+        .build();
     let parked = tiny
         .submit(request(32, 9001), &cfg)
         .expect("first submission fits");

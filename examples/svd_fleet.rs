@@ -1,0 +1,104 @@
+//! A heterogeneous SVD serving fleet: one `submit`/`solve` surface over
+//! three simulated devices from different vendors, with requests routed
+//! by plan-time support, memory headroom, and observed load — and a
+//! mid-run device loss that no caller ever notices as a hang.
+//!
+//! ```text
+//! cargo run --release --example svd_fleet
+//! ```
+//!
+//! Three things a single [`SvdService`] cannot show:
+//!
+//! * **support routing** — the paper's Table 2 rejections (ROCm has no
+//!   FP16, Metal no FP64) become "route to a capable device" instead of
+//!   an error;
+//! * **hot replication** — a signature that keeps hitting gets its plan
+//!   replicated to a second device, and requests alternate between the
+//!   two homes;
+//! * **failover** — killing a device re-plans its resident signatures
+//!   on survivors and re-routes its queued work; every ticket resolves.
+
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd::{hw, Matrix, SvDistribution, SvdConfig, SvdFleet, F16};
+
+fn request(n: usize, seed: u64) -> Matrix<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    unisvd::testmat::test_matrix::<f32, _>(n, SvDistribution::Logarithmic, false, &mut rng).0
+}
+
+fn main() {
+    let cfg = SvdConfig::default();
+    let fleet = SvdFleet::builder()
+        .device(hw::mi250()) // ROCm: no FP16
+        .device(hw::m1_pro()) // Metal: no FP64
+        .device(hw::h100()) // CUDA: everything
+        .replicate_after(4)
+        .build();
+    println!("svd_fleet: {fleet:?}");
+
+    // --- support routing -------------------------------------------------
+    // FP16 must skip the mi250, FP64 must skip the m1_pro — the same
+    // requests that error on a single-device service just route.
+    let s16 = fleet
+        .solve(&Matrix::<F16>::identity(32), &cfg)
+        .expect("fp16 routes around the ROCm device");
+    let s64 = fleet
+        .solve(&Matrix::<f64>::identity(32), &cfg)
+        .expect("fp64 routes around the Metal device");
+    println!(
+        "\nsupport routing: fp16 σ₁ = {:.3}, fp64 σ₁ = {:.3} — both served, no device errored",
+        s16.values[0], s64.values[0]
+    );
+
+    // --- hot replication -------------------------------------------------
+    // Hammer one f32 shape past the replication threshold: the router
+    // copies its plan to a second device and alternates requests.
+    for i in 0..10 {
+        fleet
+            .solve(&request(48, 100 + i), &cfg)
+            .expect("f32 is supported everywhere");
+    }
+    let stats = fleet.stats();
+    println!("\nafter a hot 48x48 f32 run:");
+    for d in &stats.per_device {
+        println!("  {:<22} alive={} {}", d.device, d.alive, d.stats.cache);
+    }
+    let homes = stats
+        .per_device
+        .iter()
+        .filter(|d| d.stats.cache.resident_plans > 0)
+        .count();
+    println!("  hot signature resident on {homes} devices (replicated)");
+
+    // --- failover --------------------------------------------------------
+    // Kill the busiest backend mid-service. Its resident plans re-plant
+    // on survivors, queued work re-routes, and the fleet keeps serving.
+    let busiest = stats
+        .per_device
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, d)| d.stats.cache.hits + d.stats.cache.misses)
+        .map(|(i, _)| i)
+        .expect("fleet is non-empty");
+    let report = fleet.fail_device(busiest);
+    println!(
+        "\nfail_device({busiest}) [{}]: {} re-planned, {} re-routed, {} rejected",
+        stats.per_device[busiest].device, report.replanned, report.rerouted, report.rejected
+    );
+    let out = fleet
+        .solve(&request(48, 999), &cfg)
+        .expect("survivors keep serving the hot shape");
+    println!(
+        "post-failover 48x48 solve: σ₁ = {:.6} (served by a survivor)",
+        out.values[0]
+    );
+    assert_eq!(
+        fleet.backend(busiest).stats().cache.resident_bytes,
+        0,
+        "the dead device returned every ledger byte"
+    );
+    for i in 0..fleet.device_count() {
+        assert!(fleet.backend(i).ledger_in_balance());
+    }
+    println!("ledgers balanced on all {} devices", fleet.device_count());
+}

@@ -66,7 +66,7 @@ fn main() {
     });
     let concurrent_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let stats = service.stats();
+    let stats = service.stats().cache;
     let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
     println!("\nafter the concurrent burst ({concurrent_ms:.1} ms wall):");
     println!("  {stats}");
@@ -99,5 +99,5 @@ fn main() {
         out.values[0],
         out.summary.total_seconds() * 1e3
     );
-    println!("final cache state: {}", service.stats());
+    println!("final cache state: {}", service.stats().cache);
 }

@@ -21,6 +21,11 @@
 //!   [`Ticket`] immediately and a drainer thread micro-batches
 //!   same-signature submissions from different callers, shedding load
 //!   with typed [`ServiceError`]s when the queue or memory saturates.
+//!   Services are constructed with [`SvdService::builder`].
+//! * [`SvdFleet`] — many heterogeneous devices behind the same serving
+//!   surface: requests route by plan-time support, memory headroom, and
+//!   observed load; hot signatures replicate; `fail_device` migrates a
+//!   lost device's work to survivors without hanging a ticket.
 //! * [`Device`] / [`hw`] — the bulk-synchronous GPU simulator and the
 //!   hardware descriptors.
 //! * [`Matrix`] and test-matrix generators.
@@ -42,8 +47,8 @@ pub use unisvd_baselines::{
 pub use unisvd_core::{
     band_to_bidiagonal, band_to_bidiagonal_into, bdsqr, bdsqr_into, bisect, bisect_into, dqds,
     dqds_into, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
-    PlanError, PlanSignature, Stage3Solver, Stage3Workspace, Svd, SvdConfig, SvdError, SvdOutput,
-    SvdPlan,
+    PlanError, PlanProbe, PlanSignature, Stage3Solver, Stage3Workspace, Svd, SvdConfig, SvdError,
+    SvdOutput, SvdPlan,
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
@@ -55,7 +60,12 @@ pub use unisvd_matrix::{
     reference, testmat, BandMatrix, Bidiagonal, Matrix, MatrixRef, SvDistribution,
 };
 pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};
-pub use unisvd_service::{CacheStats, QueueStats, ServiceConfig, ServiceError, SvdService, Ticket};
+#[allow(deprecated)]
+pub use unisvd_service::ServiceConfig;
+pub use unisvd_service::{
+    CacheStats, DeviceStats, FailoverReport, FleetBuilder, FleetStats, QueueStats, ServiceBuilder,
+    ServiceError, ServiceStats, SvdFleet, SvdService, Ticket,
+};
 
 /// Host threading controls, re-exported from the vendored work-stealing
 /// pool (`shims/rayon`).

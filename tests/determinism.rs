@@ -185,7 +185,6 @@ fn async_submissions_bit_identical_across_thread_counts() {
     // (RAYON_NUM_THREADS = 1 and 4) sizes independently. Determinism
     // must hold for every combination.
     use std::time::Duration;
-    use unisvd::{ServiceConfig, SvdService};
     let mats = golden_batch();
     let cfg = SvdConfig::default();
     let direct: Vec<Vec<u64>> = mats
@@ -206,13 +205,9 @@ fn async_submissions_bit_identical_across_thread_counts() {
         .collect();
     for t in [1, 4, 8] {
         pool(t).install(|| {
-            let service = SvdService::with_config(
-                &hw::h100(),
-                ServiceConfig {
-                    coalesce_window: Duration::from_millis(2),
-                    ..ServiceConfig::default()
-                },
-            );
+            let service = SvdService::builder(&hw::h100())
+                .coalesce_window(Duration::from_millis(2))
+                .build();
             // Two passes: cold plans, then warm pooled batch workers.
             // Duplicate same-shape submissions inside a pass exercise the
             // coalesced multi-request path.
@@ -236,6 +231,76 @@ fn async_submissions_bit_identical_across_thread_counts() {
                         "{pass} submit changed bits at {t} threads (request {i})"
                     );
                 }
+            }
+        });
+    }
+}
+
+#[test]
+fn fleet_routed_solves_bit_identical_across_thread_counts() {
+    // The fleet acceptance gate: routing must be invisible in the bits.
+    // A heterogeneous fleet places requests by load, so different thread
+    // counts genuinely route the same request to different devices —
+    // with pinned hyperparameters every device runs the identical
+    // kernel schedule, so the values must still match a directly driven
+    // plan bit for bit, wherever the request lands.
+    use unisvd::SvdFleet;
+    let mats = golden_batch();
+    let cfg = SvdConfig {
+        params: Some(HyperParams::new(16, 8, 1)),
+        ..SvdConfig::default()
+    };
+    let direct: Vec<Vec<u64>> = mats
+        .iter()
+        .map(|a| {
+            let mut plan = Svd::on(&hw::h100())
+                .precision::<f64>()
+                .config(cfg)
+                .plan(a.rows(), a.cols())
+                .unwrap();
+            plan.execute(a)
+                .unwrap()
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    for t in [1, 4, 8] {
+        pool(t).install(|| {
+            let fleet = SvdFleet::builder()
+                .device(hw::h100())
+                .device(hw::mi250())
+                .device(hw::pvc())
+                .replicate_after(2) // force replication + alternation
+                .build();
+            // Cold pass, then warm (cached / replicated) pass, then the
+            // async submit path — all three must carry the direct bits.
+            for pass in ["cold", "warm"] {
+                for (a, want) in mats.iter().zip(&direct) {
+                    let got: Vec<u64> = fleet
+                        .solve(a, &cfg)
+                        .unwrap()
+                        .values
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(&got, want, "{pass} fleet solve changed bits at {t} threads");
+                }
+            }
+            let tickets: Vec<_> = mats
+                .iter()
+                .map(|a| fleet.submit(a.clone(), &cfg).expect("admitted"))
+                .collect();
+            for (ticket, want) in tickets.into_iter().zip(&direct) {
+                let got: Vec<u64> = ticket
+                    .wait()
+                    .unwrap()
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(&got, want, "fleet submit changed bits at {t} threads");
             }
         });
     }

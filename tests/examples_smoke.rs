@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "quickstart",
     "accuracy_study",
     "image_compression",
@@ -15,6 +15,7 @@ const EXAMPLES: [&str; 8] = [
     "solver_showdown",
     "svd_server",
     "svd_async_server",
+    "svd_fleet",
 ];
 
 fn target_dir() -> PathBuf {
