@@ -1,0 +1,160 @@
+//! `fig_oocore` — out-of-core execution beyond device memory.
+//!
+//! A device shrunk to 16 KiB faces a square f32 trace ~10x its memory
+//! and a tall-skinny f64 trace that streams through panel QR. Three
+//! gates before any timing datapoint:
+//!
+//! * **feasibility** — every oversized request must solve through
+//!   [`OutOfCorePlan`] (the in-core planner provably rejects it);
+//! * **bit-identity** — streaming values must equal a single-upload
+//!   solve on an artificially enlarged clone of the same device, bit
+//!   for bit, for every request in the trace;
+//! * **cost** — the simulated per-solve cost of streaming at the fit
+//!   boundary must stay within a fixed factor (2x) of the in-core
+//!   cost of the same shape on the big device: out-of-core adds
+//!   transfer events, not a different kernel schedule.
+//!
+//! The recorded metrics (oversize ratio, per-solve seconds, transfer
+//! share, staging-arena recycling, TSQR panel count) land in
+//! `BENCH_oocore.json` for CI trend tracking.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unisvd_core::Svd;
+use unisvd_gpu::hw::rtx4060;
+use unisvd_gpu::KernelClass;
+use unisvd_matrix::{testmat, Matrix, SvDistribution};
+use unisvd_oocore::{OocMode, OutOfCore};
+
+fn requests() -> usize {
+    if criterion::quick_mode() {
+        3
+    } else {
+        8
+    }
+}
+
+fn fig_oocore(c: &mut Criterion) {
+    let mut tiny = rtx4060();
+    tiny.memory_bytes = 16 * 1024;
+    let mut big = tiny.clone();
+    big.memory_bytes = 1 << 30;
+
+    // --- square streaming trace, ~10x device memory ----------------------
+    let n = 208;
+    let operand_bytes = (n * n * std::mem::size_of::<f32>()) as u64;
+    let oversize = operand_bytes as f64 / tiny.memory_bytes as f64;
+    assert!(oversize >= 10.0, "the trace must be >= 10x device memory");
+    let mut rng = StdRng::seed_from_u64(0x00C0DE);
+    let trace: Vec<Matrix<f32>> = (0..requests())
+        .map(|_| testmat::test_matrix::<f32, _>(n, SvDistribution::Logarithmic, true, &mut rng).0)
+        .collect();
+
+    assert!(
+        Svd::on(&tiny).precision::<f32>().plan(n, n).is_err(),
+        "the in-core planner must reject the oversized shape"
+    );
+    let mut oracle_plan = Svd::on(&big).precision::<f32>().plan(n, n).unwrap();
+    let mut plan = OutOfCore::on(&tiny)
+        .precision::<f32>()
+        .plan(n, n)
+        .expect("the out-of-core planner accepts the oversized shape");
+    assert_eq!(plan.mode(), OocMode::Streaming);
+
+    let mut stream_seconds = 0.0;
+    let mut transfer_seconds = 0.0;
+    let mut incore_seconds = 0.0;
+    for a in &trace {
+        let got = plan.execute(a).expect("oversized request solves");
+        let want = oracle_plan.execute(a).unwrap();
+        let bit_equal = got
+            .values
+            .iter()
+            .zip(&want.values)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(
+            bit_equal,
+            "streaming values must be bit-identical to the big-device oracle"
+        );
+        stream_seconds += got.summary.total_seconds();
+        transfer_seconds += got.summary.seconds_of(KernelClass::Transfer);
+        incore_seconds += want.summary.total_seconds();
+    }
+    let per_solve_stream = stream_seconds / trace.len() as f64;
+    let per_solve_incore = incore_seconds / trace.len() as f64;
+    let cost_ratio = per_solve_stream / per_solve_incore;
+    let (leases, reuses) = plan.staging().stats();
+    assert!(
+        reuses > 0,
+        "the trace must recycle staged tiles ({leases} leases, {reuses} reuses)"
+    );
+    // The cost gate: streaming = the in-core schedule + transfer events,
+    // so the fit-boundary overhead is bounded and must stay that way.
+    assert!(
+        cost_ratio <= 2.0,
+        "streaming per-solve cost must stay within 2x of in-core at the \
+         fit boundary, got {cost_ratio:.3}x"
+    );
+
+    println!(
+        "\nfig_oocore ({} requests, {n}x{n} f32, {:.1}x over a {} B device):",
+        trace.len(),
+        oversize,
+        tiny.memory_bytes
+    );
+    println!(
+        "  streaming {:>9.3} ms/solve ({:.1}% transfer), in-core oracle {:>9.3} ms/solve, \
+         ratio {cost_ratio:.3}x",
+        per_solve_stream * 1e3,
+        100.0 * transfer_seconds / stream_seconds,
+        per_solve_incore * 1e3
+    );
+    println!("  staging arena: {leases} tile leases, {reuses} recycled");
+
+    record_metric("fig_oocore/oversize_ratio_x", oversize);
+    record_metric("fig_oocore/stream_per_solve_s", per_solve_stream);
+    record_metric("fig_oocore/incore_per_solve_s", per_solve_incore);
+    record_metric("fig_oocore/cost_ratio_x", cost_ratio);
+    record_metric(
+        "fig_oocore/transfer_share",
+        transfer_seconds / stream_seconds,
+    );
+    record_metric("fig_oocore/tile_leases", leases as f64);
+    record_metric("fig_oocore/tile_reuses", reuses as f64);
+
+    // --- tall-skinny TSQR trace ------------------------------------------
+    // 4096x16 f64 = 512 KiB of operand, 32x the device: the TSQR
+    // front-end sweeps row panels sized from the memory budget and
+    // combines their R factors in a fixed-shape tree.
+    let (m, k) = (4096, 16);
+    let tall = Matrix::<f64>::from_fn(m, k, |i, j| {
+        (((i * 13 + j * 5) % 89) as f64 - 44.0) / 89.0 + if i % (k + 1) == j { 3.0 } else { 0.0 }
+    });
+    let mut tsqr = OutOfCore::on(&tiny)
+        .precision::<f64>()
+        .mode(OocMode::Tsqr)
+        .plan(m, k)
+        .expect("tall-skinny shapes take the TSQR front-end");
+    let sv = tsqr.execute(&tall).expect("panel QR + reduction tree");
+    assert!(tsqr.panels() > 1, "the trace must exercise the tree");
+    assert!(sv.values[0] > 0.0);
+    println!(
+        "  TSQR: {m}x{k} f64 in {} panels, {:.3} ms simulated/solve",
+        tsqr.panels(),
+        sv.summary.total_seconds() * 1e3
+    );
+    record_metric("fig_oocore/tsqr_panels", tsqr.panels() as f64);
+    record_metric("fig_oocore/tsqr_per_solve_s", sv.summary.total_seconds());
+
+    // Standard timing-loop datapoint: one warm streaming solve.
+    let mut g = c.benchmark_group("fig_oocore");
+    g.sample_size(10);
+    let a = &trace[0];
+    g.bench_function("warm_streaming_execute", |b| {
+        b.iter(|| plan.execute(a).expect("solves"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig_oocore);
+criterion_main!(benches);

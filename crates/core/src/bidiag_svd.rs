@@ -142,6 +142,10 @@ pub struct Stage3Workspace<R> {
     pub(crate) qh: Vec<R>,
     /// dqds `ê` hat array.
     pub(crate) eh: Vec<R>,
+    /// dqds interior-split continuation stack: `(lo, hi, shift_acc)` of
+    /// the suspended outer window while a decoupled tail block converges
+    /// in place. Empty outside a solve; bounded by `n`.
+    pub(crate) split_stack: Vec<(usize, usize, R)>,
     /// Collected singular values, descending after a successful solve.
     pub(crate) out: Vec<R>,
 }

@@ -72,10 +72,10 @@ pub fn dqds<R: Real>(bi: &Bidiagonal<R>) -> Result<Vec<R>, NoConvergence> {
 /// instead of allocating per solve. On success the values are in
 /// [`Stage3Workspace::values`], descending.
 ///
-/// The rare interior-split path (an exactly decoupled block inside the
-/// active window) still recurses through the allocating [`dqds`]; every
-/// non-splitting solve — the steady state of well-coupled inputs — is
-/// allocation-free after workspace warmup.
+/// Interior splits (an exactly decoupled block inside the active window)
+/// are handled in place: the outer window is suspended on a small
+/// workspace-resident stack while the decoupled tail converges, so even
+/// splitting solves are allocation-free after workspace warmup.
 pub fn dqds_into<R: Real>(
     bi: &Bidiagonal<R>,
     ws: &mut Stage3Workspace<R>,
@@ -99,11 +99,13 @@ pub fn dqds_into<R: Real>(
     ws.qh.resize(n, R::ZERO);
     ws.eh.clear();
     ws.eh.resize(n - 1, R::ZERO);
+    ws.split_stack.clear();
     let Stage3Workspace {
         d: q,
         e,
         qh,
         eh,
+        split_stack,
         out,
     } = ws;
 
@@ -115,39 +117,48 @@ pub fn dqds_into<R: Real>(
     let tol = R::EPSILON * R::EPSILON * R::from_f64(4.0);
 
     let mut shift_acc = R::ZERO; // accumulated shifts for the active block
-    let mut hi = n - 1; // active block is q[0..=hi]
+    let mut lo = 0; // active block is q[lo..=hi]
+    let mut hi = n - 1;
     let mut budget = MAXITER_PER_SV * n * 2;
 
     loop {
         if budget == 0 {
-            return Err(NoConvergence { remaining: hi + 1 });
+            return Err(NoConvergence {
+                remaining: hi + 1 - lo,
+            });
         }
         budget -= 1;
 
         // Deflate converged trailing values: e[hi-1] negligible relative
         // to its neighbours (componentwise criterion).
-        while hi > 0 && e[hi - 1] <= tol * (q[hi] + q[hi - 1]).max(tol * scale) {
+        while hi > lo && e[hi - 1] <= tol * (q[hi] + q[hi - 1]).max(tol * scale) {
             out.push(q[hi] + shift_acc);
             hi -= 1;
         }
-        if hi == 0 {
-            out.push(q[0] + shift_acc);
-            break;
+        if hi == lo {
+            out.push(q[lo] + shift_acc);
+            // Resume the suspended outer window, if any (innermost first).
+            match split_stack.pop() {
+                Some((outer_lo, outer_hi, outer_shift)) => {
+                    lo = outer_lo;
+                    hi = outer_hi;
+                    shift_acc = outer_shift;
+                    continue;
+                }
+                None => break,
+            }
         }
 
-        // Also split at interior negligible couplings: solve the tail
-        // block first (recursion depth ≤ 1 per split by restarting).
-        if let Some(split) = (0..hi)
+        // Also split at interior negligible couplings: suspend the outer
+        // window [lo ..= split] on the stack and converge the decoupled
+        // tail [split+1 ..= hi] in place — no recursion, no allocation
+        // beyond the warmed stack.
+        if let Some(split) = (lo..hi)
             .rev()
             .find(|&k| e[k] <= tol * (q[k] + q[k + 1]).max(tol * scale))
         {
-            // Values of the decoupled tail [split+1 ..= hi] converge
-            // independently; recurse on that block.
-            let tail_d: Vec<R> = (split + 1..=hi).map(|i| q[i].sqrt()).collect();
-            let tail_e: Vec<R> = (split + 1..hi).map(|i| e[i].sqrt()).collect();
-            let tail = dqds(&Bidiagonal::new(tail_d, tail_e))?;
-            out.extend(tail.into_iter().map(|s| s * s + shift_acc));
-            hi = split;
+            split_stack.push((lo, split, shift_acc));
+            lo = split + 1;
             continue;
         }
 
@@ -167,7 +178,15 @@ pub fn dqds_into<R: Real>(
         // positive data).
         let mut applied = false;
         for _ in 0..3 {
-            if dqds_step(&q[..=hi], &e[..hi], &mut qh[..=hi], &mut eh[..hi], tau).is_ok() {
+            if dqds_step(
+                &q[lo..=hi],
+                &e[lo..hi],
+                &mut qh[lo..=hi],
+                &mut eh[lo..hi],
+                tau,
+            )
+            .is_ok()
+            {
                 applied = true;
                 break;
             }
@@ -175,12 +194,18 @@ pub fn dqds_into<R: Real>(
         }
         if !applied {
             tau = R::ZERO;
-            dqds_step(&q[..=hi], &e[..hi], &mut qh[..=hi], &mut eh[..hi], R::ZERO)
-                .expect("zero-shift dqd cannot fail on nonnegative data");
+            dqds_step(
+                &q[lo..=hi],
+                &e[lo..hi],
+                &mut qh[lo..=hi],
+                &mut eh[lo..hi],
+                R::ZERO,
+            )
+            .expect("zero-shift dqd cannot fail on nonnegative data");
         }
         shift_acc += tau;
-        q[..=hi].copy_from_slice(&qh[..=hi]);
-        e[..hi].copy_from_slice(&eh[..hi]);
+        q[lo..=hi].copy_from_slice(&qh[lo..=hi]);
+        e[lo..hi].copy_from_slice(&eh[lo..hi]);
     }
 
     for v in out.iter_mut() {

@@ -65,6 +65,11 @@ pub enum PlanError {
         padded: usize,
         /// Bytes the padded device buffer requires.
         bytes: u64,
+        /// Whether the out-of-core subsystem (`unisvd_oocore`) would
+        /// accept this request on the same device: "too big for one
+        /// upload" rather than "too big, period". Routers use it to
+        /// fall back to panel streaming instead of shedding.
+        oocore_eligible: bool,
     },
 }
 
@@ -76,10 +81,16 @@ impl std::fmt::Display for PlanError {
                 device,
                 padded,
                 bytes,
+                oocore_eligible,
             } => write!(
                 f,
                 "{device}: padded {padded}\u{d7}{padded} working set ({bytes} bytes) \
-                 exceeds device memory"
+                 exceeds device memory{}",
+                if *oocore_eligible {
+                    " (out-of-core path eligible)"
+                } else {
+                    ""
+                }
             ),
         }
     }
@@ -165,6 +176,11 @@ pub struct PlanProbe {
     /// Device bytes a built plan would pin (its `device_bytes()` before
     /// any batch workers; 0 for trace-only or empty plans).
     pub device_bytes: u64,
+    /// Whether the out-of-core subsystem (`unisvd_oocore`) accepts this
+    /// request: true for every nonempty numeric shape, whether or not it
+    /// also fits in one upload. Rejected probes surface the same hint on
+    /// [`PlanError::ExceedsDeviceMemory`].
+    pub oocore_eligible: bool,
 }
 
 /// Host driver overhead model for one solve. The Julia original pays
@@ -467,7 +483,15 @@ impl<T: Scalar> Svd<T> {
         Ok(PlanProbe {
             padded: core.padded,
             device_bytes: bytes,
+            oocore_eligible: Self::oocore_eligible(&dev, &core),
         })
+    }
+
+    /// Whether the out-of-core subsystem accepts this request: any
+    /// nonempty numeric solve can be panel-streamed (or TSQR-reduced)
+    /// regardless of the one-upload capacity rule below.
+    fn oocore_eligible(dev: &Device, core: &PlanCore) -> bool {
+        dev.mode() == ExecMode::Numeric && core.padded > 0
     }
 
     /// The device-capacity admission rule shared by [`plan`](Svd::plan)
@@ -484,6 +508,7 @@ impl<T: Scalar> Svd<T> {
                 device: dev.hw().name,
                 padded: core.padded,
                 bytes,
+                oocore_eligible: Self::oocore_eligible(dev, core),
             });
         }
         // Trace-only plans allocate no data: nothing to pin.

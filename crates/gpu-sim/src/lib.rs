@@ -25,6 +25,7 @@ pub mod cost;
 pub mod device;
 pub mod hw;
 pub mod mem;
+pub mod staging;
 pub mod trace;
 pub mod workgroup;
 
@@ -34,5 +35,6 @@ pub use cost::{cost_of_launch, ExecGeometry, KernelClass, LaunchCost, LaunchSpec
 pub use device::{Device, ExecMode};
 pub use hw::{BackendKind, Fp16Mode, HardwareDescriptor, UnsupportedPrecision};
 pub use mem::{MemoryLedger, Reservation};
+pub use staging::{StagingArena, StagingTile};
 pub use trace::{ClassTotals, LaunchRecord, Trace, TraceSummary};
 pub use workgroup::{ThreadCtx, Workgroup};

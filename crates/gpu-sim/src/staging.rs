@@ -1,0 +1,276 @@
+//! Bounded host↔device tile staging for out-of-core execution.
+//!
+//! An out-of-core solve streams an operand through the device in tiles:
+//! each tile is packed on the host, uploaded, consumed, and its staging
+//! buffer reused for the next tile. Allocating a fresh host buffer per
+//! tile would put an `O(tiles)` allocation churn on the steady-state
+//! path and — worse — would leave the resident staging footprint
+//! unbounded. [`StagingArena`] removes both problems with the same
+//! recipe [`WorkgroupArena`](crate::WorkgroupArena) uses for workgroup
+//! contexts: buffers are **leased**, reset to the zeroed state a fresh
+//! allocation would have, and returned to a typed free list when the
+//! lease drops, while a [`MemoryLedger`] bounds the total bytes the
+//! arena may keep resident.
+//!
+//! Every byte a tile occupies is charged to the ledger through a
+//! drop-guarded [`Reservation`](crate::Reservation) *before* the buffer
+//! grows, so a lease that would exceed the bound fails cleanly
+//! ([`lease`](StagingArena::lease) returns `None`, nothing charged) and
+//! a panic between "charged" and "pooled" gives the bytes back.
+//! Pooled buffers stay charged — they still occupy memory — so the
+//! ledger gauge is the arena's true resident footprint at all times.
+//!
+//! Accounting is by *requested tile length* (`len · size_of::<T>()`),
+//! the quantity the out-of-core cost model reasons about; allocator
+//! capacity slack is not modeled.
+
+use crate::hw::HardwareDescriptor;
+use crate::mem::MemoryLedger;
+use parking_lot::Mutex;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One pooled staging buffer and the ledger bytes it holds.
+struct PooledTile<T> {
+    buf: Vec<T>,
+    charged: u64,
+}
+
+/// The per-element-type free list. [`StagingTile`]s hold an `Arc` to
+/// their originating pool and push their buffer back on drop.
+struct TilePool<T> {
+    free: Mutex<Vec<PooledTile<T>>>,
+}
+
+impl<T> Default for TilePool<T> {
+    fn default() -> Self {
+        TilePool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A bounded, reusable pool of host-side staging buffers for
+/// tile-streamed (out-of-core) execution. See the module docs for the
+/// lifecycle; [`stats`](StagingArena::stats) exposes lease/reuse
+/// counters so tests can prove steady-state streaming recycles instead
+/// of allocating.
+pub struct StagingArena {
+    ledger: MemoryLedger,
+    pools: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+    leases: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl StagingArena {
+    /// An arena whose resident staging bytes are bounded by `budget`.
+    pub fn new(budget_bytes: u64) -> Self {
+        StagingArena {
+            ledger: MemoryLedger::new(budget_bytes),
+            pools: Mutex::new(HashMap::new()),
+            leases: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// An arena bounded by the device's plan-admission budget
+    /// ([`HardwareDescriptor::budget_bytes`]): staged tiles may use at
+    /// most what a single resident in-core plan could.
+    pub fn for_device(hw: &HardwareDescriptor) -> Self {
+        Self::new(hw.budget_bytes())
+    }
+
+    /// The ledger bounding this arena's resident bytes (pooled buffers
+    /// included — they still occupy memory).
+    pub fn ledger(&self) -> &MemoryLedger {
+        &self.ledger
+    }
+
+    /// Leases a zeroed `len`-element staging buffer: a pooled buffer
+    /// when one is free (reset to the state a fresh allocation would
+    /// have), a fresh charged one otherwise. Returns `None` — charging
+    /// nothing — when the lease would push the arena's resident bytes
+    /// over budget; the caller must return (drop) an outstanding tile
+    /// first or stream with smaller tiles.
+    pub fn lease<T>(&self, len: usize) -> Option<StagingTile<T>>
+    where
+        T: Copy + Default + Send + Sync + 'static,
+    {
+        let pool = self.typed_pool::<T>();
+        let pooled = pool.free.lock().pop();
+        let need = (len * std::mem::size_of::<T>()) as u64;
+        let (mut buf, charged) = match pooled {
+            Some(PooledTile { buf, charged }) => {
+                if need > charged {
+                    // Growing a pooled buffer charges only the delta —
+                    // guard-held so the push-back path below releases it.
+                    let Some(grow) = self.ledger.try_reserve_guard(need - charged) else {
+                        pool.free.lock().push(PooledTile { buf, charged });
+                        return None;
+                    };
+                    grow.commit();
+                    self.note_lease(true);
+                    (buf, need)
+                } else {
+                    self.note_lease(true);
+                    (buf, charged)
+                }
+            }
+            None => {
+                let fresh = self.ledger.try_reserve_guard(need)?;
+                fresh.commit();
+                self.note_lease(false);
+                (Vec::new(), need)
+            }
+        };
+        buf.clear();
+        buf.resize(len, T::default());
+        Some(StagingTile { buf, charged, pool })
+    }
+
+    /// `(leases, reuses)` since construction: how many tiles were handed
+    /// out, and how many of those were served from the pool instead of
+    /// freshly allocated. In steady-state streaming every lease is a
+    /// reuse.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.leases.load(Ordering::Relaxed),
+            self.reuses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn note_lease(&self, reused: bool) {
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        if reused {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn typed_pool<T: Send + Sync + 'static>(&self) -> Arc<TilePool<T>> {
+        let mut pools = self.pools.lock();
+        let entry = pools
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(TilePool::<T>::default()) as Arc<dyn Any + Send + Sync>)
+            .clone();
+        drop(pools);
+        entry
+            .downcast::<TilePool<T>>()
+            .expect("pool entry keyed by its own TypeId")
+    }
+}
+
+impl std::fmt::Debug for StagingArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (leases, reuses) = self.stats();
+        write!(
+            f,
+            "StagingArena({leases} leases, {reuses} reuses, {}/{} bytes)",
+            self.ledger.used(),
+            self.ledger.budget()
+        )
+    }
+}
+
+/// A leased staging buffer: derefs to its element slice, returns the
+/// buffer (still charged) to the arena's free list on drop.
+pub struct StagingTile<T: Send + Sync + 'static> {
+    buf: Vec<T>,
+    charged: u64,
+    pool: Arc<TilePool<T>>,
+}
+
+impl<T: Send + Sync + 'static> StagingTile<T> {
+    /// Ledger bytes this tile holds (kept charged while pooled).
+    pub fn charged_bytes(&self) -> u64 {
+        self.charged
+    }
+}
+
+impl<T: Send + Sync + 'static> std::ops::Deref for StagingTile<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.buf
+    }
+}
+
+impl<T: Send + Sync + 'static> std::ops::DerefMut for StagingTile<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for StagingTile<T> {
+    fn drop(&mut self) {
+        self.pool.free.lock().push(PooledTile {
+            buf: std::mem::take(&mut self.buf),
+            charged: self.charged,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_zeroes_and_recycles() {
+        let arena = StagingArena::new(1024);
+        {
+            let mut t = arena.lease::<f64>(8).unwrap();
+            t[0] = 7.0;
+            assert_eq!(t.len(), 8);
+            assert_eq!(t.charged_bytes(), 64);
+        } // returned to the pool, still charged
+        assert_eq!(arena.ledger().used(), 64);
+        let t = arena.lease::<f64>(8).unwrap();
+        assert!(
+            t.iter().all(|&x| x == 0.0),
+            "reused tiles must be reset to the zeroed fresh state"
+        );
+        assert_eq!(arena.ledger().used(), 64, "reuse charges nothing new");
+        assert_eq!(arena.stats(), (2, 1));
+    }
+
+    #[test]
+    fn budget_bounds_resident_tiles() {
+        let arena = StagingArena::new(100);
+        let a = arena.lease::<u8>(60).unwrap();
+        assert!(
+            arena.lease::<u8>(60).is_none(),
+            "second tile would exceed the bound"
+        );
+        assert_eq!(arena.ledger().used(), 60, "failed lease charges nothing");
+        drop(a);
+        // The pooled tile still occupies memory: a 60-byte lease reuses
+        // it, but a second concurrent one is still over budget.
+        let a = arena.lease::<u8>(60).unwrap();
+        assert!(arena.lease::<u8>(60).is_none());
+        drop(a);
+    }
+
+    #[test]
+    fn growth_charges_only_the_delta() {
+        let arena = StagingArena::new(100);
+        drop(arena.lease::<u8>(40).unwrap());
+        let t = arena.lease::<u8>(70).unwrap();
+        assert_eq!(t.charged_bytes(), 70);
+        assert_eq!(arena.ledger().used(), 70);
+        drop(t);
+        // Growth past the budget fails and leaves the pooled tile usable.
+        assert!(arena.lease::<u8>(200).is_none());
+        assert_eq!(arena.ledger().used(), 70);
+        assert!(arena.lease::<u8>(30).is_some());
+    }
+
+    #[test]
+    fn pools_are_segregated_by_element_type() {
+        let arena = StagingArena::new(1 << 20);
+        drop(arena.lease::<f32>(4).unwrap());
+        drop(arena.lease::<f64>(4).unwrap());
+        drop(arena.lease::<f32>(4).unwrap());
+        drop(arena.lease::<f64>(4).unwrap());
+        assert_eq!(arena.stats(), (4, 2));
+    }
+}

@@ -15,6 +15,6 @@ pub mod params;
 pub mod update;
 
 pub use layout::{DMat, DVec};
-pub use panel::{ftsqrt, geqrt, tsqrt};
+pub use panel::{ftsqrt, geqrt, pack_row_panel, tsqrt};
 pub use params::HyperParams;
 pub use update::{ftsmqr, tsmqr, unmqr};

@@ -33,7 +33,7 @@ use crate::ticket::{ticket_pair, Ticket};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
-use unisvd_core::{PlanSignature, Svd, SvdConfig, SvdError, SvdOutput};
+use unisvd_core::{PlanError, PlanSignature, Svd, SvdConfig, SvdError, SvdOutput};
 use unisvd_gpu::HardwareDescriptor;
 use unisvd_matrix::Matrix;
 use unisvd_scalar::{PrecisionKind, Scalar, F16};
@@ -120,6 +120,18 @@ impl FleetBuilder {
     /// [`ServiceBuilder::shed_headroom`](crate::ServiceBuilder::shed_headroom)).
     pub fn shed_headroom(mut self, bytes: u64) -> Self {
         self.knobs.shed_headroom_bytes = bytes;
+        self
+    }
+
+    /// Out-of-core fallback applied to every backend (see
+    /// [`ServiceBuilder::oocore_fallback`](crate::ServiceBuilder::oocore_fallback)).
+    /// Routing also changes: a shape every device rejects as
+    /// over-capacity — but which the out-of-core subsystem accepts — is
+    /// placed (as a never-"fits" candidate, so any in-core-capable
+    /// backend still wins) instead of failing with
+    /// [`ServiceError::NoDeviceSupports`].
+    pub fn oocore_fallback(mut self, enabled: bool) -> Self {
+        self.knobs.oocore_fallback = enabled;
         self
     }
 
@@ -598,15 +610,23 @@ impl SvdFleet {
                 probe = probe.trace_only();
             }
             // Table 2 support and device capacity, without building a
-            // plan: a rejection here is "route elsewhere".
-            let Ok(probe) = probe.probe(rows, cols) else {
-                continue;
+            // plan: a rejection here is "route elsewhere" — except an
+            // over-capacity shape the out-of-core streaming path would
+            // absorb, which stays a candidate (never "fits", so any
+            // backend that can solve in core still outranks it).
+            let probe = match probe.probe(rows, cols) {
+                Ok(p) => Some(p),
+                Err(PlanError::ExceedsDeviceMemory {
+                    oocore_eligible: true,
+                    ..
+                }) if svc.oocore_fallback_enabled() => None,
+                Err(_) => continue,
             };
             let budget = svc.cache_budget_bytes();
             let available = svc.cache_available_bytes();
             candidates.push(Candidate {
                 index: i,
-                fits: probe.device_bytes <= available,
+                fits: probe.is_some_and(|p| p.device_bytes <= available),
                 in_flight: svc.stats().queue.in_flight,
                 headroom: if budget == 0 {
                     0.0
@@ -665,6 +685,47 @@ mod tests {
             "m1_pro must never see the fp64 request"
         );
         assert_eq!(fp64_fleet.backend(1).stats().cache.misses, 1);
+    }
+
+    #[test]
+    fn oocore_fallback_places_oversized_shapes_and_prefers_in_core() {
+        // A 96x96 f32 plan exceeds a 32 KiB device. Without the knob a
+        // tiny-only fleet refuses the shape as unroutable; with it the
+        // shape places on the tiny backend and streams. When an in-core
+        // capable device is also present, it must win the placement —
+        // the streaming candidate never "fits".
+        let mut tiny = hw::rtx4060();
+        tiny.memory_bytes = 32 * 1024;
+        let cfg = SvdConfig::default();
+        let a = Matrix::<f32>::identity(96);
+
+        let refused = SvdFleet::builder().device(tiny.clone()).build();
+        assert!(matches!(
+            refused.solve(&a, &cfg),
+            Err(SvdError::Rejected { .. })
+        ));
+
+        let streaming = SvdFleet::builder()
+            .device(tiny.clone())
+            .oocore_fallback(true)
+            .build();
+        let out = streaming
+            .solve(&a, &cfg)
+            .expect("streams on the tiny device");
+        assert!(out.values.iter().all(|&s| (s - 1.0).abs() < 1e-5));
+
+        let mixed = SvdFleet::builder()
+            .device(tiny)
+            .device(hw::h100())
+            .oocore_fallback(true)
+            .build();
+        mixed.solve(&a, &cfg).expect("supported on h100");
+        assert_eq!(
+            mixed.backend(0).stats().cache.misses,
+            0,
+            "in-core capable h100 must outrank the streaming candidate"
+        );
+        assert_eq!(mixed.backend(1).stats().cache.misses, 1);
     }
 
     #[test]

@@ -7,9 +7,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use unisvd_core::{PlanSignature, Svd, SvdConfig, SvdError, SvdOutput, SvdPlan};
+use unisvd_core::{PlanError, PlanSignature, Svd, SvdConfig, SvdError, SvdOutput, SvdPlan};
 use unisvd_gpu::{HardwareDescriptor, MemoryLedger};
 use unisvd_matrix::Matrix;
+use unisvd_oocore::{OocMode, OutOfCore};
 use unisvd_scalar::{PrecisionKind, Scalar, F16};
 
 /// The service's internal tuning knobs — the non-deprecated owner of
@@ -31,6 +32,9 @@ pub(crate) struct Knobs {
     pub max_coalesce: usize,
     /// Admission floor on ledger headroom; `0` disables shedding.
     pub shed_headroom_bytes: u64,
+    /// Route oocore-eligible over-capacity rejections through the
+    /// out-of-core streaming path instead of failing them.
+    pub oocore_fallback: bool,
 }
 
 impl Default for Knobs {
@@ -43,6 +47,7 @@ impl Default for Knobs {
             coalesce_window: Duration::from_micros(200),
             max_coalesce: 64,
             shed_headroom_bytes: 0,
+            oocore_fallback: false,
         }
     }
 }
@@ -128,6 +133,9 @@ impl From<ServiceConfig> for Knobs {
             coalesce_window: cfg.coalesce_window,
             max_coalesce: cfg.max_coalesce,
             shed_headroom_bytes: cfg.shed_headroom_bytes,
+            // The deprecated config predates the out-of-core subsystem;
+            // the fallback stays opt-in through the builder only.
+            oocore_fallback: false,
         }
     }
 }
@@ -218,6 +226,20 @@ impl ServiceBuilder {
     /// disables shedding.
     pub fn shed_headroom(mut self, bytes: u64) -> Self {
         self.knobs.shed_headroom_bytes = bytes;
+        self
+    }
+
+    /// Out-of-core fallback: when enabled, a request the planner rejects
+    /// as over-capacity — but which [`unisvd_core::PlanProbe`] marks
+    /// `oocore_eligible` — is solved through the out-of-core streaming
+    /// path ([`unisvd_oocore::OutOfCore`], panel staging bounded by the
+    /// device budget) instead of returning
+    /// `PlanError::ExceedsDeviceMemory`. Values are bit-identical to a
+    /// device large enough to hold the operand. Off by default: the
+    /// streaming path trades extra transfer cost for feasibility, which
+    /// a latency-sensitive deployment may prefer to refuse outright.
+    pub fn oocore_fallback(mut self, enabled: bool) -> Self {
+        self.knobs.oocore_fallback = enabled;
         self
     }
 
@@ -543,6 +565,12 @@ impl SvdService {
     /// The device this service solves on.
     pub fn hw(&self) -> &HardwareDescriptor {
         &self.inner.hw
+    }
+
+    /// Whether this service absorbs oocore-eligible over-capacity
+    /// rejections through the streaming path (fleet routing input).
+    pub(crate) fn oocore_fallback_enabled(&self) -> bool {
+        self.inner.knobs.oocore_fallback
     }
 
     /// The signature under which a request for this shape/precision/
@@ -898,6 +926,38 @@ impl Inner {
         }
     }
 
+    /// Whether `e` is a planner rejection the out-of-core streaming path
+    /// absorbs (over-capacity, probe-marked eligible, knob enabled).
+    fn oocore_absorbs(&self, e: &SvdError) -> bool {
+        self.knobs.oocore_fallback
+            && matches!(
+                e,
+                SvdError::Plan(PlanError::ExceedsDeviceMemory {
+                    oocore_eligible: true,
+                    ..
+                })
+            )
+    }
+
+    /// Solves one oversized request through the out-of-core streaming
+    /// path on this service's device. Plans per call: these requests are
+    /// by definition too large for the plan cache's device budget, so
+    /// caching their inner plans would evict every fitting resident plan
+    /// for a shape class that is rare by construction.
+    fn oocore_solve_into<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+        cfg: &SvdConfig,
+        out: &mut SvdOutput,
+    ) -> Result<(), SvdError> {
+        let mut plan = OutOfCore::on(&self.hw)
+            .precision::<T>()
+            .config(*cfg)
+            .mode(OocMode::Streaming)
+            .plan(a.rows(), a.cols())?;
+        plan.execute_into(a, out)
+    }
+
     fn solve_into<T: Scalar>(
         &self,
         a: &Matrix<T>,
@@ -907,6 +967,13 @@ impl Inner {
         let sig = self.builder::<T>(cfg).signature(a.rows(), a.cols());
         let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, cfg) {
             Ok(found) => found,
+            Err(e) if self.oocore_absorbs(&e) => {
+                let res = self.oocore_solve_into(a, cfg, out);
+                if res.is_err() {
+                    self.record_failures(1);
+                }
+                return res;
+            }
             Err(e) => {
                 self.record_failures(1);
                 return Err(e);
@@ -962,6 +1029,19 @@ impl Inner {
             let sig = self.builder::<T>(cfg).signature(rows, cols);
             let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, cfg) {
                 Ok(found) => found,
+                Err(e) if self.oocore_absorbs(&e) => {
+                    // The whole group shares the oversized signature;
+                    // stream each member independently so a per-request
+                    // failure stays per-request.
+                    for i in idxs {
+                        let mut out = SvdOutput::empty();
+                        results[i] = Some(
+                            self.oocore_solve_into(&mats[i], cfg, &mut out)
+                                .map(|()| out),
+                        );
+                    }
+                    continue;
+                }
                 Err(e) => {
                     // A plan-time rejection is inherently group-wide (the
                     // whole group shares the failing signature) — but it
@@ -1037,6 +1117,27 @@ impl Inner {
         let sig = batch[0].sig;
         let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, &sig.config) {
             Ok(found) => found,
+            Err(e) if self.oocore_absorbs(&e) => {
+                // Oversized but streamable: solve each coalesced request
+                // through the out-of-core path, then resolve its ticket
+                // with exactly what `solve` would have produced.
+                let mut failed = 0;
+                self.in_flight.fetch_sub(n, Ordering::Relaxed);
+                for p in batch.drain(..) {
+                    let a = p
+                        .mat
+                        .downcast_ref::<Matrix<T>>()
+                        .expect("a batch signature encodes its matrices' precision");
+                    let mut out = SvdOutput::empty();
+                    let result = self
+                        .oocore_solve_into(a, &sig.config, &mut out)
+                        .map(|()| out);
+                    failed += usize::from(result.is_err());
+                    p.resolver.resolve(result);
+                }
+                self.record_failures(failed);
+                return;
+            }
             Err(e) => {
                 self.record_failures(batch.len());
                 // Decrement before resolving: a waiter unblocked by the

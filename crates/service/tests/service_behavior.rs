@@ -617,3 +617,72 @@ fn deprecated_service_config_still_compiles_and_works() {
     assert_eq!(bits(&legacy.values), bits(&modern.values));
     assert_eq!(service.stats().cache.misses, 1);
 }
+
+#[test]
+fn oocore_fallback_streams_oversized_requests_bit_identically() {
+    // A device shrunk to 32 KiB rejects a 96x96 f32 plan as
+    // over-capacity (the probe marks it oocore-eligible). Without the
+    // knob the service surfaces exactly that rejection; with it, the
+    // request streams through the out-of-core path and its values are
+    // bit-identical to a device large enough to hold the operand —
+    // through all three entry points (solve, solve_batch, submit).
+    use unisvd_core::PlanError;
+    use unisvd_gpu::hw::rtx4060;
+    let mut tiny = rtx4060();
+    tiny.memory_bytes = 32 * 1024;
+    let cfg = SvdConfig::default();
+    let a = random_square(96, 9);
+
+    let plain = SvdService::builder(&tiny).build();
+    assert!(matches!(
+        plain.solve(&a, &cfg),
+        Err(SvdError::Plan(PlanError::ExceedsDeviceMemory {
+            oocore_eligible: true,
+            ..
+        }))
+    ));
+
+    let mut big = tiny.clone();
+    big.memory_bytes = 1 << 30;
+    let oracle = Svd::on(&big)
+        .precision::<f32>()
+        .config(cfg)
+        .plan(96, 96)
+        .unwrap()
+        .execute(&a)
+        .unwrap();
+
+    let service = SvdService::builder(&tiny).oocore_fallback(true).build();
+    let solved = service.solve(&a, &cfg).expect("streams instead of failing");
+    assert_eq!(bits(&solved.values), bits(&oracle.values));
+
+    let batch = service.solve_batch(&[a.clone(), a.clone()], &cfg);
+    for r in batch {
+        assert_eq!(
+            bits(&r.expect("batched fallback").values),
+            bits(&oracle.values)
+        );
+    }
+
+    let ticket = service.submit(a.clone(), &cfg).expect("admitted");
+    let asynced = ticket.wait().expect("drainer fallback");
+    assert_eq!(bits(&asynced.values), bits(&oracle.values));
+    assert_eq!(service.stats().cache.failures, 0);
+}
+
+#[test]
+fn oocore_fallback_leaves_fitting_requests_on_the_cached_path() {
+    // The knob must not perturb in-core serving: a fitting request still
+    // plans, caches, and hits exactly as before.
+    let service = SvdService::builder(&h100()).oocore_fallback(true).build();
+    let cfg = SvdConfig::default();
+    let a = random_square(32, 10);
+    let baseline = SvdService::new(&h100()).solve(&a, &cfg).unwrap();
+    let cold = service.solve(&a, &cfg).unwrap();
+    let warm = service.solve(&a, &cfg).unwrap();
+    assert_eq!(bits(&cold.values), bits(&baseline.values));
+    assert_eq!(bits(&warm.values), bits(&baseline.values));
+    let stats = service.stats().cache;
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(stats.resident_plans, 1);
+}

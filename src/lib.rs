@@ -26,6 +26,14 @@
 //!   surface: requests route by plan-time support, memory headroom, and
 //!   observed load; hot signatures replicate; `fail_device` migrates a
 //!   lost device's work to survivors without hanging a ticket.
+//! * [`OutOfCore`] / [`OutOfCorePlan`] — out-of-core execution for
+//!   operands beyond device memory: a TSQR front-end for tall-skinny
+//!   shapes (panel QR + fixed-shape R-reduction tree, bit-identical for
+//!   any thread count) and a panel-streaming path for general shapes
+//!   (tiles staged through a bounded reusable arena), both bit-identical
+//!   to a large-enough device. Services and fleets opt in with
+//!   `oocore_fallback(true)` to stream requests their device rejects as
+//!   over-capacity.
 //! * [`Device`] / [`hw`] — the bulk-synchronous GPU simulator and the
 //!   hardware descriptors.
 //! * [`Matrix`] and test-matrix generators.
@@ -53,12 +61,14 @@ pub use unisvd_core::{
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
     BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchRecord,
-    LaunchSpec, MemoryLedger, TraceSummary, UnsupportedPrecision, WorkgroupArena,
+    LaunchSpec, MemoryLedger, StagingArena, StagingTile, TraceSummary, UnsupportedPrecision,
+    WorkgroupArena,
 };
 pub use unisvd_kernels::HyperParams;
 pub use unisvd_matrix::{
     reference, testmat, BandMatrix, Bidiagonal, Matrix, MatrixRef, SvDistribution,
 };
+pub use unisvd_oocore::{OocMode, OutOfCore, OutOfCorePlan};
 pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};
 #[allow(deprecated)]
 pub use unisvd_service::ServiceConfig;

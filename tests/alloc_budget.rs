@@ -91,9 +91,11 @@ fn mats(n: usize, count: usize, dist: SvDistribution, seed: u64) -> Vec<Matrix<f
 fn steady_state_allocates_zero_bytes() {
     const N: usize = 32;
     let inputs = mats(N, 6, SvDistribution::Logarithmic, 0xA110C);
-    // dqds's documented exception is the interior-split path (an exactly
-    // decoupled block recurses through the allocating entry point); a
-    // well-coupled arithmetic spectrum exercises its steady state.
+    // dqds interior splits are handled in place (the outer window is
+    // suspended on the workspace's split stack — no allocating
+    // recursion); the dedicated splitting-input phase below pins that.
+    // The main loop keeps a well-coupled arithmetic spectrum so each
+    // solver sees comparable, split-free work.
     let coupled = mats(N, 6, SvDistribution::Arithmetic, 0xA110D);
     let mut budget_rows: Vec<(String, u64, u64)> = Vec::new();
 
@@ -201,6 +203,83 @@ fn steady_state_allocates_zero_bytes() {
             "the measured pass must reuse the pooled workers, not regrow them"
         );
         assert!(statuses.iter().all(|s| s.is_ok()));
+    }
+
+    // ---- dqds splitting input (workspace-resident split stack) -------
+    // Exact-zero interior superdiagonal entries decouple the active
+    // window repeatedly. The split path used to recurse through the
+    // allocating entry point; now it pushes the suspended outer window
+    // onto the workspace's split stack, so a warmed workspace solves
+    // splitting inputs allocation-free like any other.
+    {
+        use unisvd::{dqds_into, Bidiagonal, Stage3Workspace};
+        let n = 24;
+        let bi = Bidiagonal {
+            d: (0..n).map(|i| 1.0 + ((i * 5) % 7) as f64 * 0.25).collect(),
+            e: (0..n - 1)
+                .map(|i| {
+                    if i % 6 == 5 {
+                        0.0
+                    } else {
+                        0.3 + ((i * 3) % 5) as f64 * 0.1
+                    }
+                })
+                .collect(),
+        };
+        let mut ws = Stage3Workspace::default();
+        dqds_into(&bi, &mut ws).unwrap();
+        assert_eq!(ws.values().len(), n, "the splitting input solved for real");
+        let (allocs, bytes) = measure(|| {
+            for _ in 0..4 {
+                dqds_into(&bi, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "warm dqds_into on a splitting input must not allocate: \
+             {allocs} allocations / {bytes} bytes"
+        );
+    }
+
+    // ---- warm out-of-core streaming execute_into ---------------------
+    // The streaming phase stages tiles through the plan's bounded
+    // arena: after one warmup solve the pooled tile, the inner plan's
+    // workspaces, and the output shell are all at steady state — every
+    // further oversized solve is allocation-free end to end.
+    {
+        use unisvd::{OocMode, OutOfCore};
+        let mut tiny = h100();
+        tiny.memory_bytes = 4 * 1024; // the 32x32 operand no longer fits
+        let mut plan = OutOfCore::on(&tiny)
+            .precision::<f32>()
+            .mode(OocMode::Streaming)
+            .plan(N, N)
+            .unwrap();
+        let mut out = SvdOutput::empty();
+        for a in inputs.iter().take(2) {
+            plan.execute_into(a, &mut out).unwrap();
+        }
+        let (leases_before, _) = plan.staging().stats();
+        let (allocs, bytes) = measure(|| {
+            for a in &inputs {
+                plan.execute_into(a, &mut out).unwrap();
+            }
+        });
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "warm out-of-core streaming execute_into must not allocate: \
+             {allocs} allocations / {bytes} bytes over {} solves",
+            inputs.len()
+        );
+        let (leases, reuses) = plan.staging().stats();
+        assert!(
+            leases > leases_before && reuses > 0,
+            "the measured solves must recycle staged tiles \
+             ({leases} leases, {reuses} reuses)"
+        );
+        assert!(!out.values.is_empty(), "the measured solves ran for real");
     }
 
     // ---- warm SvdService::solve_into ---------------------------------

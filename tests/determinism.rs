@@ -307,6 +307,95 @@ fn fleet_routed_solves_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn oocore_streaming_bit_identical_across_thread_counts_and_to_oracle() {
+    // The out-of-core acceptance gate: an operand >= 10x the device's
+    // memory solves through the streaming OutOfCorePlan, its values are
+    // bit-identical at 1, 4, and 8 threads, AND bit-identical to a
+    // single-upload solve on an artificially enlarged clone of the same
+    // device (the "big device" oracle).
+    use unisvd::{OocMode, OutOfCore};
+    let mut tiny = hw::rtx4060();
+    tiny.memory_bytes = 16 * 1024;
+    let n = 208; // 208*208*4 B = 173 KiB, >= 10x the 16 KiB device
+    assert!((n * n * 4) as u64 >= 10 * tiny.memory_bytes);
+    let a = {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(404);
+        testmat::test_matrix::<f32, _>(n, SvDistribution::Logarithmic, false, &mut rng).0
+    };
+    let cfg = SvdConfig::default();
+    let mut big = tiny.clone();
+    big.memory_bytes = 1 << 30;
+    let oracle: Vec<u64> = Svd::on(&big)
+        .precision::<f32>()
+        .config(cfg)
+        .plan(n, n)
+        .unwrap()
+        .execute(&a)
+        .unwrap()
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for t in [1, 4, 8] {
+        pool(t).install(|| {
+            let mut plan = OutOfCore::on(&tiny)
+                .precision::<f32>()
+                .config(cfg)
+                .plan(n, n)
+                .expect("streaming accepts what the device rejects");
+            assert_eq!(plan.mode(), OocMode::Streaming);
+            let got: Vec<u64> = plan
+                .execute(&a)
+                .unwrap()
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(got, oracle, "streaming changed bits at {t} threads");
+        });
+    }
+}
+
+#[test]
+fn oocore_tsqr_bit_identical_across_thread_counts() {
+    // The TSQR reduction tree's shape depends only on the panel count,
+    // never on the thread count — so the combine order (and therefore
+    // every rounding decision) is pinned, and a tall-skinny solve is
+    // bit-identical at 1, 4, and 8 threads even though tree levels fan
+    // out on the pool.
+    use unisvd::{OocMode, OutOfCore};
+    let mut tiny = hw::rtx4060();
+    tiny.memory_bytes = 24 * 1024;
+    let (m, n) = (2048, 24);
+    let a = Matrix::<f64>::from_fn(m, n, |i, j| {
+        (((i * 31 + j * 17) % 101) as f64 - 50.0) / 101.0 + if i == j { 2.0 } else { 0.0 }
+    });
+    let cfg = SvdConfig::default();
+    let run = |t: usize| -> Vec<u64> {
+        pool(t).install(|| {
+            let mut plan = OutOfCore::on(&tiny)
+                .precision::<f64>()
+                .config(cfg)
+                .mode(OocMode::Tsqr)
+                .plan(m, n)
+                .unwrap();
+            assert!(plan.panels() > 1, "test must exercise the reduction tree");
+            plan.execute(&a)
+                .unwrap()
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+    };
+    let sequential = run(1);
+    for t in [4, 8] {
+        assert_eq!(run(t), sequential, "TSQR changed bits at {t} threads");
+    }
+}
+
+#[test]
 fn parallel_reductions_bit_identical_across_thread_counts() {
     // Non-associative float sum: chunk boundaries (and therefore the
     // combination tree) must not depend on the thread count.

@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 9] = [
+const EXAMPLES: [&str; 10] = [
     "quickstart",
     "accuracy_study",
     "image_compression",
@@ -16,6 +16,7 @@ const EXAMPLES: [&str; 9] = [
     "svd_server",
     "svd_async_server",
     "svd_fleet",
+    "svd_oocore",
 ];
 
 fn target_dir() -> PathBuf {
