@@ -14,6 +14,7 @@
 //! stored band (`sub = 1` below, `sup = b + 1` above — the bulge room);
 //! annihilated targets are set to exact zero.
 
+use crate::vectors::RotLog;
 use unisvd_gpu::{Device, ExecMode, KernelClass, LaunchSpec};
 use unisvd_matrix::{BandMatrix, Bidiagonal};
 use unisvd_scalar::Real;
@@ -54,8 +55,16 @@ fn rotate_rows<R: Real>(b: &mut BandMatrix<R>, i1: usize, i2: usize, c: R, s: R,
 }
 
 /// Annihilates element `(row, row + d)` (distance `d ≥ 2`) and chases the
-/// resulting bulge off the end of the band.
-fn chase_element<R: Real>(b: &mut BandMatrix<R>, row: usize, d: usize) {
+/// resulting bulge off the end of the band. With `log`, every applied
+/// rotation is recorded (tagged by side) for singular-vector replay —
+/// rotations skipped by the exact-zero guards apply the identity and log
+/// nothing.
+fn chase_element<R: Real>(
+    b: &mut BandMatrix<R>,
+    row: usize,
+    d: usize,
+    mut log: Option<&mut RotLog>,
+) {
     let n = b.n();
     let mut target_row = row;
     let mut jc = row + d; // column of the element being annihilated
@@ -66,6 +75,9 @@ fn chase_element<R: Real>(b: &mut BandMatrix<R>, row: usize, d: usize) {
         if g != R::ZERO {
             let (c, s, _r) = givens(f, g);
             rotate_cols(b, jc - 1, jc, c, s, target_row);
+            if let Some(log) = log.as_deref_mut() {
+                log.push(false, jc - 1, c.to_f64(), s.to_f64());
+            }
         }
         // That created a bulge at (jc, jc-1), below the diagonal.
         if jc >= n {
@@ -77,6 +89,9 @@ fn chase_element<R: Real>(b: &mut BandMatrix<R>, row: usize, d: usize) {
             let f = b.get(jc - 1, jc - 1);
             let (c, s, _r) = givens(f, bulge);
             rotate_rows(b, jc - 1, jc, c, s, jc - 1);
+            if let Some(log) = log.as_deref_mut() {
+                log.push(true, jc - 1, c.to_f64(), s.to_f64());
+            }
         }
         // The left rotation created a bulge at (jc-1, jc-1+d+1); the next
         // right rotation will zero it. Advance the chase by one stride.
@@ -141,12 +156,28 @@ pub fn band_to_bidiagonal_into<R: Real>(
     ts: usize,
     bi: &mut Bidiagonal<R>,
 ) {
+    band_to_bidiagonal_into_ext(dev, band, bandwidth, prec, ts, bi, None);
+}
+
+/// [`band_to_bidiagonal_into`] with an optional rotation log: every
+/// Givens rotation of the chase is recorded for singular-vector replay.
+/// With `log = None` the behaviour (and the produced bidiagonal, bit for
+/// bit) is identical to [`band_to_bidiagonal_into`].
+pub(crate) fn band_to_bidiagonal_into_ext<R: Real>(
+    dev: &Device,
+    band: &mut BandMatrix<R>,
+    bandwidth: usize,
+    prec: unisvd_scalar::PrecisionKind,
+    ts: usize,
+    bi: &mut Bidiagonal<R>,
+    mut log: Option<&mut RotLog>,
+) {
     let n = band.n();
     for d in (2..=bandwidth).rev() {
         dev.launch::<R, _>(&sweep_spec(n, d, ts, prec), |_| {});
         if dev.mode() == ExecMode::Numeric {
             for row in 0..n.saturating_sub(d) {
-                chase_element(band, row, d);
+                chase_element(band, row, d, log.as_deref_mut());
             }
         }
     }

@@ -9,6 +9,7 @@
 //! superdiagonal tiles lower-triangular), with the Householder vectors
 //! parked in the annihilated positions.
 
+use crate::vectors::Stage1Log;
 use unisvd_gpu::{Device, ExecMode, GlobalBuffer};
 use unisvd_kernels::{ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr, DMat, DVec, HyperParams};
 use unisvd_matrix::BandMatrix;
@@ -61,18 +62,49 @@ pub fn band_diag<T: Scalar>(
     p: &HyperParams,
     fused: bool,
 ) {
+    band_diag_ext(dev, a_buf, tau_buf, n, p, fused, None);
+}
+
+/// [`band_diag`] with an optional stage-1 transform log for
+/// singular-vector replay: after each `GETSMQRT` sweep (and the final
+/// diagonal `GEQRT`) the factored panel and its τ̂ run are snapshotted
+/// out of device storage, **before** the next sweep reuses the τ̂ slots.
+/// Logging is read-only with respect to the factorisation — the produced
+/// band is bit-identical with `log = None`. Requires numeric execution
+/// when a log is supplied (there is no data to snapshot in trace mode).
+pub(crate) fn band_diag_ext<T: Scalar>(
+    dev: &Device,
+    a_buf: &GlobalBuffer<T>,
+    tau_buf: &GlobalBuffer<T>,
+    n: usize,
+    p: &HyperParams,
+    fused: bool,
+    mut log: Option<&mut Stage1Log>,
+) {
     let nbt = p.nbtiles(n);
     let a = DMat::new(a_buf, n);
     let tau = DVec::new(tau_buf);
+    let mut cursor = 0;
     for k in 0..nbt.saturating_sub(1) {
         // RQ sweep: annihilate the tile column below diagonal tile k.
         getsmqrt(dev, a, tau, p, k, k, nbt, fused);
+        if let Some(log) = log.as_deref_mut() {
+            log.snapshot::<T>(cursor, a, tau_buf);
+            cursor += 1;
+        }
         // LQ sweep: annihilate the tile row right of tile (k, k+1), via
         // the lazy transpose (Algorithm 2 line 4).
         getsmqrt(dev, a.t(), tau, p, k, k + 1, nbt, fused);
+        if let Some(log) = log.as_deref_mut() {
+            log.snapshot::<T>(cursor, a.t(), tau_buf);
+            cursor += 1;
+        }
     }
     // Final diagonal tile (Algorithm 2 line 6).
     geqrt(dev, a, tau, p, nbt - 1, nbt - 1);
+    if let Some(log) = log {
+        log.snapshot::<T>(cursor, a, tau_buf);
+    }
 }
 
 /// Extracts the implied band matrix from the in-place factored storage:

@@ -16,6 +16,7 @@
 //! matching the paper's CPU placement of this stage.
 
 use crate::band2bi::givens;
+use crate::vectors::RotLog;
 use unisvd_gpu::{Device, KernelClass};
 use unisvd_matrix::Bidiagonal;
 use unisvd_scalar::Real;
@@ -43,8 +44,18 @@ impl std::fmt::Display for NoConvergence {
 impl std::error::Error for NoConvergence {}
 
 /// One Demmel–Kahan zero-shift QR sweep on `d[lo..=hi]`, `e[lo..hi]`.
-/// Preserves high relative accuracy of small singular values.
-fn zero_shift_sweep<R: Real>(d: &mut [R], e: &mut [R], lo: usize, hi: usize) {
+/// Preserves high relative accuracy of small singular values. With `log`,
+/// records the `(CS, SN)` right and `(OLDCS, OLDSN)` left rotation of
+/// each step — the pairing `xBDSQR` hands to `DLASR` for its vector
+/// update; the logging adds no arithmetic, so the value iteration is
+/// bit-identical with or without it.
+fn zero_shift_sweep<R: Real>(
+    d: &mut [R],
+    e: &mut [R],
+    lo: usize,
+    hi: usize,
+    mut log: Option<&mut RotLog>,
+) {
     let mut cs = R::ONE;
     let mut oldcs = R::ONE;
     let mut oldsn = R::ZERO;
@@ -59,6 +70,10 @@ fn zero_shift_sweep<R: Real>(d: &mut [R], e: &mut [R], lo: usize, hi: usize) {
         oldcs = oc;
         oldsn = os;
         d[i] = dr;
+        if let Some(log) = log.as_deref_mut() {
+            log.push(false, i, c.to_f64(), s.to_f64());
+            log.push(true, i, oc.to_f64(), os.to_f64());
+        }
     }
     let h = d[hi] * cs;
     e[hi - 1] = h * oldsn;
@@ -68,7 +83,14 @@ fn zero_shift_sweep<R: Real>(d: &mut [R], e: &mut [R], lo: usize, hi: usize) {
 /// One shifted implicit-QR sweep (Golub–Kahan SVD step, GVL alg. 8.6.1)
 /// on `d[lo..=hi]`, `e[lo..hi]` with shift `mu` (an eigenvalue estimate
 /// of `BᵀB`).
-fn shifted_sweep<R: Real>(d: &mut [R], e: &mut [R], lo: usize, hi: usize, mu: R) {
+fn shifted_sweep<R: Real>(
+    d: &mut [R],
+    e: &mut [R],
+    lo: usize,
+    hi: usize,
+    mu: R,
+    mut log: Option<&mut RotLog>,
+) {
     // The first rotation is implicit (from the shifted normal equations);
     // afterwards (y, z) is the (in-band, bulge) pair of row k−1 and the
     // right rotation restores e[k−1] = r while annihilating the bulge.
@@ -90,6 +112,10 @@ fn shifted_sweep<R: Real>(d: &mut [R], e: &mut [R], lo: usize, hi: usize, mu: R)
         d[k] = r2;
         e[k] = c2 * t01 + s2 * t11;
         d[k + 1] = -s2 * t01 + c2 * t11;
+        if let Some(log) = log.as_deref_mut() {
+            log.push(false, k, c.to_f64(), s.to_f64());
+            log.push(true, k, c2.to_f64(), s2.to_f64());
+        }
         if k < hi - 1 {
             // The left rotation spilled a bulge into (k, k+2).
             let ek1 = e[k + 1];
@@ -174,6 +200,19 @@ pub fn bdsqr_into<R: Real>(
     bi: &Bidiagonal<R>,
     ws: &mut Stage3Workspace<R>,
 ) -> Result<(), NoConvergence> {
+    bdsqr_into_ext(bi, ws, None)
+}
+
+/// [`bdsqr_into`] with an optional rotation log for singular-vector
+/// replay. Logging records each sweep's rotations as they are generated
+/// and adds no arithmetic to the iteration, so the computed values (and
+/// the final signed diagonal left in `ws.d`, whose signs seed the `U`
+/// accumulator) are bit-identical with `log = None`.
+pub(crate) fn bdsqr_into_ext<R: Real>(
+    bi: &Bidiagonal<R>,
+    ws: &mut Stage3Workspace<R>,
+    mut log: Option<&mut RotLog>,
+) -> Result<(), NoConvergence> {
     let n = bi.n();
     ws.out.clear();
     if n == 0 {
@@ -237,15 +276,15 @@ pub fn bdsqr_into<R: Real>(
         let dmin = (lo..=hi).map(|i| d[i].abs()).fold(R::MAX, R::min);
         let use_zero_shift = dmin <= tol * dmax;
         if use_zero_shift {
-            zero_shift_sweep(d, e, lo, hi);
+            zero_shift_sweep(d, e, lo, hi, log.as_deref_mut());
         } else {
             let mu = trailing_shift(d, e, lo, hi);
             // A shift larger than the block norm² means cancellation —
             // fall back to zero shift.
             if mu <= R::ZERO {
-                zero_shift_sweep(d, e, lo, hi);
+                zero_shift_sweep(d, e, lo, hi, log.as_deref_mut());
             } else {
-                shifted_sweep(d, e, lo, hi, mu);
+                shifted_sweep(d, e, lo, hi, mu, log.as_deref_mut());
             }
         }
     }
@@ -289,6 +328,20 @@ pub fn bisect<R: Real>(bi: &Bidiagonal<R>) -> Vec<R> {
 /// Golub–Kahan `z` array and the value collector reuse the workspace
 /// vectors. Values land in [`Stage3Workspace::values`], descending.
 pub fn bisect_into<R: Real>(bi: &Bidiagonal<R>, ws: &mut Stage3Workspace<R>) {
+    bisect_topk_into(bi, ws, None)
+}
+
+/// [`bisect_into`] computing only the largest `topk` singular values when
+/// requested — the one stage-3 solver whose per-value searches are fully
+/// independent, so a truncated solve skips the bottom of the spectrum
+/// natively and each computed value is **bitwise identical** to the same
+/// value from a full run. `topk = None` (or `topk ≥ n`) computes all
+/// values, identically to [`bisect_into`].
+pub(crate) fn bisect_topk_into<R: Real>(
+    bi: &Bidiagonal<R>,
+    ws: &mut Stage3Workspace<R>,
+    topk: Option<usize>,
+) {
     let n = bi.n();
     ws.out.clear();
     if n == 0 {
@@ -312,8 +365,10 @@ pub fn bisect_into<R: Real>(bi: &Bidiagonal<R>, ws: &mut Stage3Workspace<R>) {
     ub = ub + ub * R::EPSILON + R::MIN_POSITIVE;
 
     // σ_k (ascending k) = (n + k + 1)-th smallest eigenvalue of TGK; we
-    // bisect for each of the n positive eigenvalues.
-    for k in 0..n {
+    // bisect for each of the requested positive eigenvalues (the largest
+    // `kk` of them — the top of the spectrum has the largest k indices).
+    let kk = topk.unwrap_or(n).min(n);
+    for k in (n - kk)..n {
         // #eigenvalues < x reaches n + k + 1 exactly when x > σ_k.
         let want = n + k + 1;
         let mut lo = R::ZERO;

@@ -22,6 +22,14 @@
 //! transform positive (a rejected shift is retried smaller — the
 //! safeguarded strategy of `dlasq`, simplified); the zero-shift `dqd`
 //! transform is always safe and serves as the fallback.
+//!
+//! **Singular vectors.** dqds operates on squared quantities and applies
+//! no rotations, so it produces no transform stream to accumulate. When a
+//! solve requests vectors with this solver, the pipeline keeps the dqds
+//! values verbatim (they remain the published, bit-identical values) and
+//! runs one additional logged `bdsqr` pass on a private workspace purely
+//! to obtain the rotation log that the vector replay consumes — see the
+//! `vectors` module. The same strategy covers bisection.
 
 use unisvd_matrix::Bidiagonal;
 use unisvd_scalar::Real;

@@ -27,6 +27,7 @@ pub mod bidiag_svd;
 pub mod dqds;
 pub mod plan;
 pub mod svd;
+mod vectors;
 
 pub use band2bi::{band_to_bidiagonal, band_to_bidiagonal_into};
 pub use band_diag::{band_diag, extract_band, extract_band_into, getsmqrt};
@@ -35,5 +36,5 @@ pub use dqds::{dqds, dqds_into};
 pub use plan::{PlanError, PlanProbe, PlanSignature, Svd, SvdPlan};
 pub use svd::{
     resolve_params, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
-    Stage3Solver, SvdConfig, SvdError, SvdOutput,
+    Stage3Solver, SvdConfig, SvdError, SvdOutput, Want,
 };

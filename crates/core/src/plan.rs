@@ -31,18 +31,20 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::band2bi::band_to_bidiagonal_into;
-use crate::band_diag::{band_diag, extract_band_into};
-use crate::bidiag_svd::{account_stage3_cost, bdsqr_into, bisect_into, Stage3Workspace};
+use crate::band2bi::band_to_bidiagonal_into_ext;
+use crate::band_diag::{band_diag_ext, extract_band_into};
+use crate::bidiag_svd::{account_stage3_cost, bdsqr_into_ext, bisect_topk_into, Stage3Workspace};
 use crate::dqds::dqds_into;
-use crate::svd::{resolve_params, Stage3Solver, SvdConfig, SvdError, SvdOutput};
+use crate::svd::{resolve_params, Stage3Solver, SvdConfig, SvdError, SvdOutput, Want};
+use crate::vectors::VectorScratch;
 use std::marker::PhantomData;
 use std::sync::Mutex;
 use unisvd_gpu::{
     BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, TraceSummary,
     UnsupportedPrecision,
 };
-use unisvd_kernels::HyperParams;
+use unisvd_kernels::{account_accum_cost, HyperParams};
+use unisvd_matrix::reference::{apply_q_inplace, householder_qr_into};
 use unisvd_matrix::Matrix;
 use unisvd_matrix::{BandMatrix, Bidiagonal};
 use unisvd_scalar::{PrecisionKind, Real, Scalar};
@@ -282,17 +284,34 @@ impl PlanCore {
             return Workspace {
                 staging: Vec::new(),
                 qr: Vec::new(),
-                pipe: PipelineScratch::for_trace(self.padded),
+                qr_tau: Vec::new(),
+                qvec: Vec::new(),
+                pipe: PipelineScratch::for_trace(self.padded, self.cfg.vectors, self.mindim),
             };
         }
         let qr_len = match self.kind {
             PlanKind::TallQr | PlanKind::WideQr => self.rows * self.cols,
             PlanKind::Empty | PlanKind::Direct => 0,
         };
+        // Tall/wide vector assembly lifts device-frame vectors through the
+        // host QR: retain the τ coefficients and a qm × k scratch block.
+        let k = self.cfg.vectors.columns(self.mindim);
+        let qvec_len = if qr_len > 0 {
+            self.rows.max(self.cols) * k
+        } else {
+            0
+        };
         Workspace {
             staging: vec![T::zero(); self.padded * self.padded],
             qr: vec![0.0; qr_len],
-            pipe: PipelineScratch::for_numeric(self.padded, self.params.tilesize),
+            qr_tau: Vec::with_capacity(if qr_len > 0 { self.mindim } else { 0 }),
+            qvec: vec![0.0; qvec_len],
+            pipe: PipelineScratch::for_numeric(
+                self.padded,
+                self.params.tilesize,
+                self.cfg.vectors,
+                self.mindim,
+            ),
         }
     }
 }
@@ -302,31 +321,55 @@ impl PlanCore {
 /// stage-3 solver workspace. Owned by a plan's [`Workspace`] so repeated
 /// executes refill instead of reallocate; the one-shot wrappers build a
 /// fresh one per call (exactly the old per-call behaviour).
-pub(crate) struct PipelineScratch<A> {
+pub(crate) struct PipelineScratch<A: Real> {
     band: BandMatrix<A>,
     bi: Bidiagonal<A>,
     s3: Stage3Workspace<A>,
+    /// Singular-vector workspace (`Some` iff the configuration requests
+    /// vectors and the planned shape is nonempty): transform logs,
+    /// selection scratch and the `padded × k` accumulators. Trace-only
+    /// plans keep an empty-buffered scratch whose `k` still drives the
+    /// accumulation cost models, so `cost()` replays match numeric runs.
+    vac: Option<VectorScratch<A>>,
 }
 
 impl<A: Real> PipelineScratch<A> {
-    /// Scratch for a numeric run of padded size `padded`, tile `ts`.
-    pub(crate) fn for_numeric(padded: usize, ts: usize) -> Self {
+    /// Scratch for a numeric run of padded size `padded`, tile `ts`,
+    /// accumulating `vectors.columns(mindim)` singular-vector columns.
+    pub(crate) fn for_numeric(padded: usize, ts: usize, vectors: Want, mindim: usize) -> Self {
         PipelineScratch {
             // sub = 1 / sup = ts + 1: the stage-2 bulge room.
             band: BandMatrix::zeros(padded, 1, ts + 1),
             bi: Bidiagonal::new(Vec::new(), Vec::new()),
             s3: Stage3Workspace::default(),
+            vac: Self::vector_scratch(padded, ts, vectors, mindim, true),
         }
     }
 
     /// Scratch for a trace-only run: no data, but the stage-2 cost
     /// stream reads the placeholder's order.
-    pub(crate) fn for_trace(padded: usize) -> Self {
+    pub(crate) fn for_trace(padded: usize, vectors: Want, mindim: usize) -> Self {
         PipelineScratch {
             band: BandMatrix::zeros(padded.max(1), 0, 0),
             bi: Bidiagonal::new(Vec::new(), Vec::new()),
             s3: Stage3Workspace::default(),
+            vac: Self::vector_scratch(padded, 0, vectors, mindim, false),
         }
+    }
+
+    fn vector_scratch(
+        padded: usize,
+        ts: usize,
+        vectors: Want,
+        mindim: usize,
+        numeric: bool,
+    ) -> Option<VectorScratch<A>> {
+        let k = vectors.columns(mindim);
+        if k == 0 || padded == 0 {
+            return None;
+        }
+        let topk = matches!(vectors, Want::TopK(_));
+        Some(VectorScratch::new(k, topk, padded, ts, numeric))
     }
 }
 
@@ -337,6 +380,11 @@ impl<A: Real> PipelineScratch<A> {
 pub(crate) struct Workspace<T: Scalar> {
     staging: Vec<T>,
     qr: Vec<f64>,
+    /// τ coefficients of the host QR factorisation in `qr`, retained per
+    /// solve for the tall/wide singular-vector assembly.
+    qr_tau: Vec<f64>,
+    /// `qm × k` scratch the tall/wide vector assembly applies `Q` into.
+    qvec: Vec<f64>,
     pipe: PipelineScratch<T::Accum>,
 }
 
@@ -427,6 +475,16 @@ impl<T: Scalar> Svd<T> {
         self
     }
 
+    /// Requests singular vectors: [`Want::Thin`] accumulates all
+    /// `min(m, n)` columns of `U`/`Vᵀ`, [`Want::TopK`]`(k)` only the
+    /// leading `k` (truncating the values list to match). The default
+    /// [`Want::None`] computes values only — the classic pipeline,
+    /// bit-identical to every release so far.
+    pub fn vectors(mut self, want: Want) -> Self {
+        self.cfg.vectors = want;
+        self
+    }
+
     /// Plans against a trace-only device: executes account simulated cost
     /// without data (paper-scale size sweeps).
     pub fn trace_only(mut self) -> Self {
@@ -488,10 +546,13 @@ impl<T: Scalar> Svd<T> {
     }
 
     /// Whether the out-of-core subsystem accepts this request: any
-    /// nonempty numeric solve can be panel-streamed (or TSQR-reduced)
-    /// regardless of the one-upload capacity rule below.
+    /// nonempty numeric *values-only* solve can be panel-streamed (or
+    /// TSQR-reduced) regardless of the one-upload capacity rule below.
+    /// Solves requesting singular vectors are not eligible — the
+    /// out-of-core pipeline discards the panel factors it streams, so it
+    /// has nothing to replay vectors from.
     fn oocore_eligible(dev: &Device, core: &PlanCore) -> bool {
-        dev.mode() == ExecMode::Numeric && core.padded > 0
+        dev.mode() == ExecMode::Numeric && core.padded > 0 && core.cfg.vectors == Want::None
     }
 
     /// The device-capacity admission rule shared by [`plan`](Svd::plan)
@@ -899,7 +960,11 @@ impl<T: Scalar> SvdPlan<T> {
         if self.core.kind != PlanKind::Empty {
             let buf = dev.alloc::<T>(0);
             let tau = dev.alloc::<T>(0);
-            let mut pipe = PipelineScratch::for_trace(self.core.padded);
+            let mut pipe = PipelineScratch::for_trace(
+                self.core.padded,
+                self.core.cfg.vectors,
+                self.core.mindim,
+            );
             let mut values = Vec::new();
             let r = run_pipeline::<T>(
                 &dev,
@@ -966,6 +1031,15 @@ pub(crate) fn execute_core<T: Scalar>(
     }
     if core.kind == PlanKind::Empty {
         out.values.clear();
+        // Vectors requested on an empty shape: well-formed zero-column
+        // factors keep the `Some`-iff-requested invariant.
+        if core.cfg.vectors == Want::None {
+            out.u = None;
+            out.vt = None;
+        } else {
+            out.u = Some(Matrix::zeros(core.rows, 0));
+            out.vt = Some(Matrix::zeros(0, core.cols));
+        }
         out.params = HyperParams::reference();
         out.padded_n = 0;
         dev.summary_into(&mut out.summary);
@@ -1016,7 +1090,7 @@ pub(crate) fn execute_core<T: Scalar>(
                         qr[(i, j)] = v.to_f64() / scale;
                     }
                 }
-                let _tau = unisvd_matrix::reference::householder_qr(&mut qr);
+                householder_qr_into(&mut qr, &mut ws.qr_tau);
                 // T::from_f64 ∘ to_f64 is the identity on T's values, so
                 // staging R directly matches the one-shot path (which
                 // materialises R as a Matrix<T> first) bit for bit.
@@ -1045,15 +1119,117 @@ pub(crate) fn execute_core<T: Scalar>(
         &mut out.values,
     )?;
     out.values.truncate(core.mindim);
+    if let Want::TopK(k) = core.cfg.vectors {
+        // Truncated mode: the values list is the top-k prefix of the full
+        // descending list (`Bisect` computed exactly these natively; the
+        // sweep solvers ran fully and truncate here).
+        out.values.truncate(k.min(core.mindim));
+    }
     if scale != 1.0 {
+        // σ(cA) = c·σ(A); the singular *vectors* of cA and A coincide, so
+        // rescaling never touches the accumulated factors.
         for v in &mut out.values {
             *v *= scale;
         }
     }
+    assemble_vectors(core, ws, dev, out);
     out.params = core.params;
     out.padded_n = core.padded;
     dev.summary_into(&mut out.summary);
     Ok(())
+}
+
+/// Maps the replayed device-frame accumulators (`padded × k`, see the
+/// `vectors` module) into the caller's frame and writes `out.u` /
+/// `out.vt`, reusing any buffers already in `out` (warm executes with
+/// vectors allocate nothing). Direct shapes truncate the padded rows;
+/// tall/wide shapes additionally lift the left (resp. right) factor
+/// through the retained host QR: for tall `A = Q_h·R`, `U(A) = Q_h·U(R)`,
+/// and for wide `A = (Q_h·R)ᵀ = V(R)·Σ·(Q_h·U(R))ᵀ`.
+fn assemble_vectors<T: Scalar>(
+    core: &PlanCore,
+    ws: &mut Workspace<T>,
+    dev: &Device,
+    out: &mut SvdOutput,
+) {
+    if core.cfg.vectors == Want::None || dev.mode() != ExecMode::Numeric {
+        // Values-only solves and trace replays (which have no data to
+        // accumulate) carry no factors.
+        out.u = None;
+        out.vt = None;
+        return;
+    }
+    let k = core.cfg.vectors.columns(core.mindim);
+    let (rows, cols, padded) = (core.rows, core.cols, core.padded);
+    // Reuse the caller's buffers: take → clear → resize keeps capacity.
+    let mut ud = out.u.take().map(Matrix::into_vec).unwrap_or_default();
+    let mut vd = out.vt.take().map(Matrix::into_vec).unwrap_or_default();
+    ud.clear();
+    ud.resize(rows * k, 0.0);
+    vd.clear();
+    vd.resize(k * cols, 0.0);
+    if k > 0 {
+        let vac = ws
+            .pipe
+            .vac
+            .as_ref()
+            .expect("vector scratch exists whenever vectors were planned");
+        let (wu, wv) = (&vac.wu, &vac.wv);
+        match core.kind {
+            PlanKind::Direct => {
+                for j in 0..k {
+                    ud[j * rows..(j + 1) * rows]
+                        .copy_from_slice(&wu[j * padded..j * padded + rows]);
+                }
+                for j in 0..k {
+                    for c in 0..cols {
+                        vd[c * k + j] = wv[j * padded + c];
+                    }
+                }
+            }
+            PlanKind::TallQr | PlanKind::WideQr => {
+                // The device solved the qn × qn triangle of the host QR of
+                // the (possibly transposed) input; lift its left factor
+                // through Q_h: qvec ← Q_h · [W(0..qn); 0], qm × k.
+                let (qm, qn) = match core.kind {
+                    PlanKind::TallQr => (rows, cols),
+                    _ => (cols, rows),
+                };
+                ws.qvec.clear();
+                ws.qvec.resize(qm * k, 0.0);
+                for j in 0..k {
+                    ws.qvec[j * qm..j * qm + qn].copy_from_slice(&wu[j * padded..j * padded + qn]);
+                }
+                apply_q_inplace(&ws.qr, &ws.qr_tau, qm, &mut ws.qvec, k);
+                match core.kind {
+                    PlanKind::TallQr => {
+                        // U = Q_h·U(R) (rows × k); Vᵀ rows from W_v.
+                        ud.copy_from_slice(&ws.qvec);
+                        for j in 0..k {
+                            for c in 0..cols {
+                                vd[c * k + j] = wv[j * padded + c];
+                            }
+                        }
+                    }
+                    _ => {
+                        // Wide: U(A) = V(R) from W_v; Vᵀ(A) = (Q_h·U(R))ᵀ.
+                        for j in 0..k {
+                            ud[j * rows..(j + 1) * rows]
+                                .copy_from_slice(&wv[j * padded..j * padded + rows]);
+                        }
+                        for j in 0..k {
+                            for c in 0..cols {
+                                vd[c * k + j] = ws.qvec[j * qm + c];
+                            }
+                        }
+                    }
+                }
+            }
+            PlanKind::Empty => unreachable!("empty shapes return before the pipeline"),
+        }
+    }
+    out.u = Some(Matrix::from_col_major(rows, k, ud));
+    out.vt = Some(Matrix::from_col_major(k, cols, vd));
 }
 
 /// The three-stage pipeline (§3) over already-uploaded device buffers:
@@ -1093,36 +1269,86 @@ pub(crate) fn run_pipeline<T: Scalar>(
         ),
     }
 
-    // Stage 1: dense → band (device kernels).
-    band_diag(dev, buf, tau, padded, p, fused);
+    let numeric = dev.mode() == ExecMode::Numeric;
+    let PipelineScratch { band, bi, s3, vac } = pipe;
+    // Vector accumulation logs only exist in numeric mode; trace replays
+    // keep the scratch for cost accounting but record nothing.
+    let logging = numeric && vac.is_some();
+    if logging {
+        vac.as_mut().unwrap().begin_solve();
+    }
+
+    // Stage 1: dense → band (device kernels). With vectors requested, each
+    // sweep's factored panel + τ̂ run are snapshotted for later replay —
+    // snapshots are read-only, so the band stays bit-identical.
+    band_diag_ext(
+        dev,
+        buf,
+        tau,
+        padded,
+        p,
+        fused,
+        vac.as_mut().filter(|_| logging).map(|v| &mut v.s1),
+    );
 
     // Stage 2: band → bidiagonal (bulge chasing; device-accounted).
-    if dev.mode() == ExecMode::Numeric {
-        extract_band_into::<T>(dev, buf, padded, p.tilesize, &mut pipe.band);
+    if numeric {
+        extract_band_into::<T>(dev, buf, padded, p.tilesize, band);
     }
-    band_to_bidiagonal_into(
+    band_to_bidiagonal_into_ext(
         dev,
-        &mut pipe.band,
+        band,
         p.tilesize,
         T::KIND,
         p.tilesize,
-        &mut pipe.bi,
+        bi,
+        vac.as_mut().filter(|_| logging).map(|v| &mut v.s2),
     );
 
     // Stage 3: bidiagonal → singular values (CPU, like the paper's LAPACK
     // call).
     account_stage3_cost(dev, padded);
-    if dev.mode() == ExecMode::Numeric {
+    if let Some(v) = vac.as_ref() {
+        // The accumulation itself is host work; charged in both modes so
+        // a trace replay of a vector plan predicts the same cost model.
+        account_accum_cost(dev, padded, v.k);
+    }
+    if numeric {
         match cfg.solver {
-            Stage3Solver::Bdsqr => {
-                bdsqr_into(&pipe.bi, &mut pipe.s3).map_err(SvdError::NoConvergence)?
-            }
+            Stage3Solver::Bdsqr => bdsqr_into_ext(bi, s3, vac.as_mut().map(|v| &mut v.s3))
+                .map_err(SvdError::NoConvergence)?,
             Stage3Solver::Dqds => {
-                dqds_into(&pipe.bi, &mut pipe.s3).map_err(SvdError::NoConvergence)?
+                dqds_into(bi, s3).map_err(SvdError::NoConvergence)?;
+                if let Some(v) = vac.as_mut() {
+                    // dqds produces no rotations; run a logged bdsqr pass
+                    // on a private workspace purely for the vector trail.
+                    // The published values remain the native dqds ones.
+                    bdsqr_into_ext(bi, &mut v.s3ws, Some(&mut v.s3))
+                        .map_err(SvdError::NoConvergence)?;
+                }
             }
-            Stage3Solver::Bisect => bisect_into(&pipe.bi, &mut pipe.s3),
+            Stage3Solver::Bisect => {
+                bisect_topk_into(bi, s3, vac.as_ref().filter(|v| v.topk).map(|v| v.k));
+                if let Some(v) = vac.as_mut() {
+                    // Bisection likewise yields values only; see above.
+                    bdsqr_into_ext(bi, &mut v.s3ws, Some(&mut v.s3))
+                        .map_err(SvdError::NoConvergence)?;
+                }
+            }
         };
-        values.extend(pipe.s3.values().iter().map(|x| x.to_f64()));
+        values.extend(s3.values().iter().map(|x| x.to_f64()));
+        if let Some(v) = vac.as_mut() {
+            match cfg.solver {
+                // The signed final diagonal (sign pre-absorption) drives
+                // both column selection and the U-side sign seed.
+                Stage3Solver::Bdsqr => v.select_and_replay(padded, &s3.d),
+                _ => {
+                    let d = std::mem::take(&mut v.s3ws.d);
+                    v.select_and_replay(padded, &d);
+                    v.s3ws.d = d;
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -30,6 +30,51 @@ pub enum Stage3Solver {
     Bisect,
 }
 
+/// Which singular vectors a solve should produce alongside the values.
+///
+/// Part of [`SvdConfig`] (and therefore of
+/// [`PlanSignature`](crate::PlanSignature)), so plans, service caching
+/// and fleet routing all distinguish vector modes automatically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Want {
+    /// Values only — the pre-vector pipeline, bit-identical to before
+    /// this mode existed. The default.
+    #[default]
+    None,
+    /// All `min(m, n)` left/right singular vectors (the "thin"/"economy"
+    /// factorization `A = U Σ Vᵀ` with `U` of shape `m × min(m,n)` and
+    /// `Vᵀ` of shape `min(m,n) × n`).
+    Thin,
+    /// Only the leading `k` singular triplets (`k` is clamped to
+    /// `min(m, n)`): `U` is `m × k`, `Vᵀ` is `k × n`, and
+    /// [`SvdOutput::values`] is truncated to its first `k` entries — a
+    /// bit-for-bit prefix of the full value list. Accumulation cost
+    /// scales with `k`, which is what makes truncated solves cheap.
+    TopK(usize),
+}
+
+impl Want {
+    /// Number of singular-vector columns this mode accumulates for a
+    /// problem with `mindim = min(m, n)`.
+    pub fn columns(self, mindim: usize) -> usize {
+        match self {
+            Want::None => 0,
+            Want::Thin => mindim,
+            Want::TopK(k) => k.min(mindim),
+        }
+    }
+}
+
+impl std::fmt::Display for Want {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Want::None => write!(f, "none"),
+            Want::Thin => write!(f, "thin"),
+            Want::TopK(k) => write!(f, "top{k}"),
+        }
+    }
+}
+
 /// Configuration of a singular value computation.
 ///
 /// `Eq`/`Hash` compare every knob exactly, so a configuration can serve
@@ -50,6 +95,9 @@ pub struct SvdConfig {
     /// (FP16 overflows at 65 504) — the "default rescaling" the paper
     /// lists as future work (§3.2). On by default.
     pub rescale: bool,
+    /// Which singular vectors to accumulate ([`Want::None`] by default —
+    /// the values-only pipeline, bit-identical to previous releases).
+    pub vectors: Want,
 }
 
 impl Default for SvdConfig {
@@ -59,6 +107,7 @@ impl Default for SvdConfig {
             fused: true,
             solver: Stage3Solver::Bdsqr,
             rescale: true,
+            vectors: Want::None,
         }
     }
 }
@@ -73,8 +122,8 @@ impl std::fmt::Display for SvdConfig {
         }
         write!(
             f,
-            " fused={} solver={:?} rescale={}",
-            self.fused, self.solver, self.rescale
+            " fused={} solver={:?} rescale={} vectors={}",
+            self.fused, self.solver, self.rescale, self.vectors
         )
     }
 }
@@ -83,8 +132,18 @@ impl std::fmt::Display for SvdConfig {
 #[derive(Clone, Debug)]
 pub struct SvdOutput {
     /// Singular values in descending order, in `f64` (empty in trace-only
-    /// mode).
+    /// mode). Under [`Want::TopK`] this is truncated to the leading `k`
+    /// entries — a bit-for-bit prefix of the full list.
     pub values: Vec<f64>,
+    /// Left singular vectors, `rows × k` column-major (`k` per
+    /// [`Want::columns`]): `Some` iff the configuration requested
+    /// vectors and the solve was numeric. Column `j` pairs with
+    /// `values[j]`.
+    pub u: Option<Matrix<f64>>,
+    /// Right singular vectors transposed, `k × cols`: `Some` iff vectors
+    /// were requested on a numeric solve. Row `j` pairs with `values[j]`,
+    /// so `A ≈ U · diag(values) · Vᵀ`.
+    pub vt: Option<Matrix<f64>>,
     /// Hyperparameters actually used.
     pub params: HyperParams,
     /// Padded problem size (next multiple of `TILESIZE`).
@@ -102,6 +161,8 @@ impl SvdOutput {
     pub fn empty() -> Self {
         SvdOutput {
             values: Vec::new(),
+            u: None,
+            vt: None,
             params: HyperParams::reference(),
             padded_n: 0,
             summary: TraceSummary {
@@ -262,7 +323,7 @@ pub fn svdvals_cost<T: Scalar>(
     let padded = n.div_ceil(ts) * ts;
     let buf = dev.alloc::<T>(0);
     let tau = dev.alloc::<T>(0);
-    let mut pipe = PipelineScratch::for_trace(padded);
+    let mut pipe = PipelineScratch::for_trace(padded, cfg.vectors, n);
     let mut values = Vec::new();
     run_pipeline::<T>(
         dev,

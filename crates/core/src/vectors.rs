@@ -1,0 +1,436 @@
+//! Singular-vector accumulation by **log-and-reverse-replay**.
+//!
+//! The values pipeline reduces `A → band → bidiagonal → Σ` through three
+//! stages of orthogonal transforms. To produce vectors without touching
+//! the values path (whose results must stay bit-identical), each stage
+//! *records* its transforms as it runs:
+//!
+//! * stage 1 snapshots every factored panel (the parked Householder
+//!   tails plus their τ̂, which later sweeps overwrite) — one
+//!   [`SweepLog`] per `GETSMQRT`;
+//! * stage 2 records every applied Givens rotation of the bulge chase;
+//! * stage 3 records every QR-sweep rotation pair of the logging
+//!   `bdsqr` run.
+//!
+//! After the values converge, the leading `k` diagonal positions are
+//! selected, `k` signed unit columns are seeded into `padded × k`
+//! accumulators, and the whole log is replayed **in reverse** through
+//! [`unisvd_kernels::rot_mix`] / [`unisvd_kernels::reflector_apply`].
+//! Every replayed operation costs `O(k)`, so a truncated top-k solve
+//! accumulates at `k/min(m,n)` of the thin cost — the economics the
+//! `fig_truncated` bench gates.
+//!
+//! Why one mix formula suffices: a left rotation `L` (recorded `(c, s)`
+//! acting on rows `(i, i+1)` of the working matrix) enters `U` as
+//! `W ← Lᵀ W`, and a right rotation `R` (recorded from a column
+//! rotation / the `DLASR`-convention right sweep) enters `V` as
+//! `W ← Rᵀ W`; for the `(c, s)` conventions of both recording sites the
+//! two reduce to the identical row mix
+//! `(wᵢ, wᵢ₊₁) ← (c·wᵢ − s·wᵢ₊₁, s·wᵢ + c·wᵢ₊₁)`. Cross-side ordering
+//! is immaterial (left and right factors commute across sides); within
+//! a side, one combined reverse pass over the tagged log preserves the
+//! required order.
+//!
+//! Everything here is sequential host code — accumulated vectors are
+//! bit-identical for any thread count, like the values.
+
+use crate::bidiag_svd::Stage3Workspace;
+use unisvd_gpu::GlobalBuffer;
+use unisvd_kernels::{reflector_apply, rot_mix, DMat};
+use unisvd_scalar::{Real, Scalar};
+
+/// One recorded Givens rotation: `left` routes it to the `U`
+/// accumulator, `i` is the upper of the two mixed rows `(i, i+1)`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Rot {
+    pub left: bool,
+    pub i: u32,
+    pub c: f64,
+    pub s: f64,
+}
+
+/// Append-only rotation log (stage 2 or stage 3), reused across solves:
+/// [`clear`](Self::clear) keeps capacity, so warm solves of the same
+/// input re-record without allocating.
+#[derive(Default, Debug)]
+pub(crate) struct RotLog {
+    pub rots: Vec<Rot>,
+}
+
+impl RotLog {
+    #[inline]
+    pub fn push(&mut self, left: bool, i: usize, c: f64, s: f64) {
+        self.rots.push(Rot {
+            left,
+            i: i as u32,
+            c,
+            s,
+        });
+    }
+
+    pub fn clear(&mut self) {
+        self.rots.clear();
+    }
+}
+
+/// Snapshot of one stage-1 panel sweep: the factored panel (R/L plus
+/// parked normalised Householder tails) and its τ̂ run, copied right
+/// after the sweep's `GETSMQRT` because later sweeps reuse the τ̂
+/// storage. `left` sweeps (the RQ side and the final diagonal `GEQRT`)
+/// replay into `U`; right sweeps (the LQ side, recorded through the
+/// lazy-transposed view) replay into `V`.
+#[derive(Debug)]
+pub(crate) struct SweepLog {
+    pub left: bool,
+    /// Top tile row of the panel in the sweep's view frame.
+    pub tr0: usize,
+    /// Tile column of the panel in the sweep's view frame (`tr0` for RQ
+    /// and the final `GEQRT`, `tr0 − 1` for the LQ sweeps, whose panel
+    /// sits one tile right of the diagonal in the transposed view).
+    pub pc: usize,
+    /// Tiles in the panel (`nbt − tr0`).
+    pub ntiles: usize,
+    /// Column-major `(ntiles·ts) × ts` copy of the factored panel.
+    pub panel: Vec<f64>,
+    /// τ̂ of every reflector in the panel (`ntiles·ts` entries; the
+    /// `GEQRT` tile's last slot is zero by construction).
+    pub taus: Vec<f64>,
+}
+
+/// The full stage-1 transform record. The sweep *structure* depends only
+/// on the padded size and tile size — never on data — so the log is
+/// fully pre-allocated at workspace-build time and merely refilled per
+/// solve: the warm path performs no allocation.
+#[derive(Debug, Default)]
+pub(crate) struct Stage1Log {
+    pub ts: usize,
+    pub sweeps: Vec<SweepLog>,
+}
+
+impl Stage1Log {
+    /// Pre-builds the sweep skeleton for a `padded`-edge problem:
+    /// `[RQ(k), LQ(k)]` for each diagonal tile `k`, then the final
+    /// diagonal `GEQRT` — mirroring `band_diag`'s loop exactly.
+    pub fn new(padded: usize, ts: usize) -> Self {
+        let nbt = padded / ts.max(1);
+        let mut sweeps = Vec::new();
+        let mut push = |left: bool, tr0: usize, pc: usize| {
+            let ntiles = nbt - tr0;
+            sweeps.push(SweepLog {
+                left,
+                tr0,
+                pc,
+                ntiles,
+                panel: vec![0.0; ntiles * ts * ts],
+                taus: vec![0.0; ntiles * ts],
+            });
+        };
+        for k in 0..nbt.saturating_sub(1) {
+            push(true, k, k); // RQ sweep on A
+            push(false, k + 1, k); // LQ sweep on Aᵀ
+        }
+        if nbt > 0 {
+            push(true, nbt - 1, nbt - 1); // final diagonal GEQRT
+        }
+        Stage1Log { ts, sweeps }
+    }
+
+    /// Copies sweep `idx`'s factored panel and τ̂ run out of device
+    /// storage (element reads through the sweep's own view, so the LQ
+    /// side's lazy transpose is handled by the same indexing the kernels
+    /// used).
+    pub fn snapshot<T: Scalar>(&mut self, idx: usize, view: DMat<'_, T>, tau: &GlobalBuffer<T>) {
+        let ts = self.ts;
+        let sweep = &mut self.sweeps[idx];
+        let h = sweep.ntiles * ts;
+        let r0 = sweep.tr0 * ts;
+        let c0 = sweep.pc * ts;
+        for j in 0..ts {
+            for r in 0..h {
+                sweep.panel[j * h + r] = view.read(r0 + r, c0 + j).to_f64();
+            }
+        }
+        for i in 0..h {
+            sweep.taus[i] = tau.read(r0 + i).to_f64();
+        }
+    }
+
+    /// Replays sweep reflectors onto `w` in reverse generation order
+    /// (`TSQRT` tiles bottom-up, each tile's reflectors backwards, then
+    /// the `GEQRT` reflectors backwards) — the order that applies the
+    /// sweep's `Q` (not `Qᵀ`) to the accumulator, pinned by the panel
+    /// kernels' own QR-reconstruction test.
+    fn replay_sweep(sweep: &SweepLog, ts: usize, w: &mut [f64], padded: usize, k: usize) {
+        let h = sweep.ntiles * ts;
+        let r0 = sweep.tr0 * ts;
+        for lt in (1..sweep.ntiles).rev() {
+            for kk in (0..ts).rev() {
+                let tau = sweep.taus[lt * ts + kk];
+                if tau == 0.0 {
+                    continue;
+                }
+                let col = &sweep.panel[kk * h + lt * ts..kk * h + (lt + 1) * ts];
+                reflector_apply(w, padded, k, r0 + kk, r0 + lt * ts, col, tau);
+            }
+        }
+        for kk in (0..ts).rev() {
+            let tau = sweep.taus[kk];
+            if tau == 0.0 {
+                continue;
+            }
+            let col = &sweep.panel[kk * h + kk + 1..kk * h + ts];
+            reflector_apply(w, padded, k, r0 + kk, r0 + kk + 1, col, tau);
+        }
+    }
+}
+
+/// Per-plan vector workspace: every log, selection scratch and
+/// accumulator the vector path touches, owned by `PipelineScratch` so a
+/// warm `execute_into` with vectors allocates nothing. `A` is the
+/// pipeline's accumulation type (the second `bdsqr` pass for the
+/// `Dqds`/`Bisect` solvers runs in it).
+#[derive(Debug)]
+pub(crate) struct VectorScratch<A: Real> {
+    /// Accumulated columns (`Want::columns` of the planned shape).
+    pub k: usize,
+    /// Whether the values list is truncated to `k` too (`Want::TopK`).
+    pub topk: bool,
+    pub s1: Stage1Log,
+    pub s2: RotLog,
+    pub s3: RotLog,
+    /// Workspace for the logging `bdsqr` pass when the configured
+    /// stage-3 solver is not `Bdsqr` (whose own run logs in place).
+    pub s3ws: Stage3Workspace<A>,
+    /// Selection scratch: `(value, diag index)` sorted descending.
+    pub order: Vec<(f64, usize)>,
+    /// Left accumulator, `padded × k` column-major.
+    pub wu: Vec<f64>,
+    /// Right accumulator, `padded × k` column-major.
+    pub wv: Vec<f64>,
+}
+
+impl<A: Real> VectorScratch<A> {
+    /// Builds the workspace for `k` columns of a `padded`-edge problem.
+    /// `numeric` sizes the stage-1 log and accumulators; a trace-only
+    /// plan keeps them empty (the scratch then only drives cost
+    /// accounting).
+    pub fn new(k: usize, topk: bool, padded: usize, ts: usize, numeric: bool) -> Self {
+        VectorScratch {
+            k,
+            topk,
+            s1: if numeric {
+                Stage1Log::new(padded, ts)
+            } else {
+                Stage1Log::default()
+            },
+            s2: RotLog::default(),
+            s3: RotLog::default(),
+            s3ws: Stage3Workspace::default(),
+            order: Vec::new(),
+            wu: if numeric {
+                vec![0.0; padded * k]
+            } else {
+                Vec::new()
+            },
+            wv: if numeric {
+                vec![0.0; padded * k]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Selects the `k` leading diagonal positions of the converged
+    /// bidiagonal (`dvals` = the logging `bdsqr` run's final signed
+    /// diagonal) and reverse-replays the full transform log into the
+    /// `wu`/`wv` accumulators. Ties order by ascending diagonal index,
+    /// so exact-zero padding positions are never selected while real
+    /// ones remain.
+    pub fn select_and_replay(&mut self, padded: usize, dvals: &[A]) {
+        let k = self.k;
+        self.order.clear();
+        for (idx, d) in dvals.iter().enumerate() {
+            self.order.push((d.abs().to_f64(), idx));
+        }
+        self.order.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        self.order.truncate(k);
+
+        self.wu.clear();
+        self.wu.resize(padded * k, 0.0);
+        self.wv.clear();
+        self.wv.resize(padded * k, 0.0);
+        for (j, &(_, idx)) in self.order.iter().enumerate() {
+            // diag(d) = diag(sign)·diag(|d|): the sign rides on U.
+            let sign = if dvals[idx] < A::ZERO { -1.0 } else { 1.0 };
+            self.wu[j * padded + idx] = sign;
+            self.wv[j * padded + idx] = 1.0;
+        }
+
+        // Stage 3 then stage 2, newest rotation first. One pass per log:
+        // within a side the reverse order is exact, across sides the
+        // factors commute.
+        for rot in self.s3.rots.iter().rev() {
+            let w = if rot.left { &mut self.wu } else { &mut self.wv };
+            rot_mix(w, padded, k, rot.i as usize, rot.c, rot.s);
+        }
+        for rot in self.s2.rots.iter().rev() {
+            let w = if rot.left { &mut self.wu } else { &mut self.wv };
+            rot_mix(w, padded, k, rot.i as usize, rot.c, rot.s);
+        }
+        // Stage 1: sweeps in reverse chronological order.
+        for sweep in self.s1.sweeps.iter().rev() {
+            let w = if sweep.left {
+                &mut self.wu
+            } else {
+                &mut self.wv
+            };
+            Stage1Log::replay_sweep(sweep, self.s1.ts, w, padded, k);
+        }
+    }
+
+    /// Clears the per-solve logs (capacity kept) before a new record.
+    pub fn begin_solve(&mut self) {
+        self.s2.clear();
+        self.s3.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band2bi::band_to_bidiagonal_into_ext;
+    use crate::bidiag_svd::bdsqr_into_ext;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use unisvd_gpu::{hw::h100, Device};
+    use unisvd_matrix::{BandMatrix, Bidiagonal};
+
+    /// ‖M − U·diag(d)·Vᵀ‖_max for padded×padded `get`-addressable M.
+    fn recon_err(
+        get: &dyn Fn(usize, usize) -> f64,
+        n: usize,
+        vac: &VectorScratch<f64>,
+        values: &[(f64, usize)],
+    ) -> f64 {
+        let k = vac.k;
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for (c, &(v, _)) in values.iter().enumerate().take(k) {
+                    acc += vac.wu[c * n + i] * v * vac.wv[c * n + j];
+                }
+                worst = worst.max((get(i, j) - acc).abs());
+            }
+        }
+        worst
+    }
+
+    fn ortho_err(w: &[f64], n: usize, k: usize) -> f64 {
+        let mut worst: f64 = 0.0;
+        for a in 0..k {
+            for b in 0..k {
+                let dot: f64 = (0..n).map(|i| w[a * n + i] * w[b * n + i]).sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                worst = worst.max((dot - want).abs());
+            }
+        }
+        worst
+    }
+
+    /// Stage-3 isolation: a logged `bdsqr` run, replayed onto full
+    /// accumulators, must reconstruct the original bidiagonal.
+    #[test]
+    fn stage3_log_replay_reconstructs_bidiagonal() {
+        let n = 12;
+        let mut rng = StdRng::seed_from_u64(42);
+        let d: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..2.0)).collect();
+        let e: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bi = Bidiagonal {
+            d: d.clone(),
+            e: e.clone(),
+        };
+        let mut ws = Stage3Workspace::default();
+        let mut vac = VectorScratch::<f64>::new(n, false, n, 4, true);
+        vac.s1 = Stage1Log::default(); // no stage-1/2 transforms here
+        bdsqr_into_ext(&bi, &mut ws, Some(&mut vac.s3)).unwrap();
+        vac.select_and_replay(n, &ws.d);
+        assert!(ortho_err(&vac.wu, n, n) < 1e-13, "U orthogonality");
+        assert!(ortho_err(&vac.wv, n, n) < 1e-13, "V orthogonality");
+        let get = |i: usize, j: usize| -> f64 {
+            if i == j {
+                d[i]
+            } else if j == i + 1 {
+                e[i]
+            } else {
+                0.0
+            }
+        };
+        let err = recon_err(&get, n, &vac, &vac.order);
+        assert!(err < 1e-12, "B − UΣVᵀ max err {err}");
+    }
+
+    /// Stage-2 + stage-3 isolation: chase a random band matrix to
+    /// bidiagonal with logging, run logged bdsqr, replay both logs —
+    /// must reconstruct the band matrix.
+    #[test]
+    fn stage2_and_3_log_replay_reconstructs_band() {
+        let n = 16;
+        let ts = 4;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut band = BandMatrix::<f64>::zeros(n, 1, ts + 1);
+        band.refill_from_dense(|i, j| {
+            if j >= i && j <= i + ts {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        let orig: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| band.get(i, j)).collect())
+            .collect();
+        let dev = Device::numeric(h100());
+        let mut bi = Bidiagonal {
+            d: Vec::new(),
+            e: Vec::new(),
+        };
+        let mut vac = VectorScratch::<f64>::new(n, false, n, ts, true);
+        vac.s1 = Stage1Log::default();
+        band_to_bidiagonal_into_ext(
+            &dev,
+            &mut band,
+            ts,
+            unisvd_scalar::PrecisionKind::Fp64,
+            ts,
+            &mut bi,
+            Some(&mut vac.s2),
+        );
+        let mut ws = Stage3Workspace::default();
+        bdsqr_into_ext(&bi, &mut ws, Some(&mut vac.s3)).unwrap();
+        vac.select_and_replay(n, &ws.d);
+        assert!(ortho_err(&vac.wu, n, n) < 1e-13);
+        assert!(ortho_err(&vac.wv, n, n) < 1e-13);
+        let get = |i: usize, j: usize| orig[i][j];
+        let err = recon_err(&get, n, &vac, &vac.order);
+        assert!(err < 1e-12, "band − UΣVᵀ max err {err}");
+    }
+
+    #[test]
+    fn selection_prefers_low_index_on_ties_and_skips_padding() {
+        let mut vac = VectorScratch::<f64>::new(2, false, 4, 2, true);
+        vac.s1 = Stage1Log::default();
+        // d = [0, 3, 0, 0]: real zeros at idx 0 beat padding zeros at 2,3.
+        vac.select_and_replay(4, &[0.0, 3.0, 0.0, 0.0]);
+        assert_eq!(vac.order, vec![(3.0, 1), (0.0, 0)]);
+        // Signed diagonal: the sign lands on U's seed.
+        let mut vac2 = VectorScratch::<f64>::new(1, true, 2, 2, true);
+        vac2.s1 = Stage1Log::default();
+        vac2.select_and_replay(2, &[-5.0, 1.0]);
+        assert_eq!(vac2.order, vec![(5.0, 0)]);
+        assert_eq!(vac2.wu[0], -1.0);
+        assert_eq!(vac2.wv[0], 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Singular-vector accumulator primitives: the host-side apply kernels
+//! the reverse-replay accumulation path (see `unisvd-core`'s `vectors`
+//! module) drives, plus the cost models the simulated device charges for
+//! them.
+//!
+//! Both primitives operate on a **padded × k column-major accumulator**
+//! `w`: `k` singular-vector columns of the padded device problem, stored
+//! f64 regardless of the pipeline's storage precision (the transforms
+//! being replayed were *computed* in the accumulation type; replaying in
+//! f64 adds no error of its own). They are deliberately sequential and
+//! branch-free per element, so accumulated vectors are bit-identical for
+//! any thread count — the same determinism discipline as the values
+//! path.
+
+use unisvd_gpu::{Device, KernelClass};
+
+/// Applies one Givens rotation to rows `(i, i+1)` of the accumulator:
+///
+/// ```text
+/// w[i,   :] ← c·w[i, :] − s·w[i+1, :]
+/// w[i+1, :] ← s·w[i, :] + c·w[i+1, :]
+/// ```
+///
+/// This single mix rule covers **every** rotation the pipeline replays —
+/// left rotations transposed onto `U` and right rotations un-transposed
+/// onto `V` reduce to the same formula for the `(c, s)` the sweeps
+/// record (the `DLASR`-convention pairing of LAPACK's `xBDSQR`).
+///
+/// # Panics
+/// If `w` is not a `padded × k` column-major buffer or `i + 1` is out of
+/// range (debug assertions).
+#[inline]
+pub fn rot_mix(w: &mut [f64], padded: usize, k: usize, i: usize, c: f64, s: f64) {
+    debug_assert_eq!(w.len(), padded * k);
+    debug_assert!(i + 1 < padded);
+    for col in 0..k {
+        let base = col * padded;
+        let hi = w[base + i];
+        let lo = w[base + i + 1];
+        w[base + i] = c * hi - s * lo;
+        w[base + i + 1] = s * hi + c * lo;
+    }
+}
+
+/// Applies one Householder reflector `H = I − τ v vᵀ` to the accumulator,
+/// where `v` has an implicit unit head at row `head`, zeros elsewhere,
+/// and the contiguous tail `tail` at rows `tail_start ..`. This is the
+/// stored-factor layout of both panel kernels: `GEQRT` tails live just
+/// below the head inside the diagonal tile, `TSQRT` tails fill a full
+/// tile further down the panel.
+///
+/// A `τ = 0` reflector is the identity; callers skip those before
+/// calling (the guarded-reflector convention of `reflector_head`).
+///
+/// # Panics
+/// If the tail range leaves the accumulator or overlaps the head (debug
+/// assertions).
+#[inline]
+pub fn reflector_apply(
+    w: &mut [f64],
+    padded: usize,
+    k: usize,
+    head: usize,
+    tail_start: usize,
+    tail: &[f64],
+    tau: f64,
+) {
+    debug_assert_eq!(w.len(), padded * k);
+    debug_assert!(head < padded);
+    debug_assert!(tail_start + tail.len() <= padded);
+    debug_assert!(head < tail_start || head >= tail_start + tail.len());
+    for col in 0..k {
+        let base = col * padded;
+        let mut dot = w[base + head];
+        for (j, &v) in tail.iter().enumerate() {
+            dot += v * w[base + tail_start + j];
+        }
+        let dot = tau * dot;
+        w[base + head] -= dot;
+        for (j, &v) in tail.iter().enumerate() {
+            w[base + tail_start + j] -= dot * v;
+        }
+    }
+}
+
+/// Host efficiency the accumulator replay is charged at: sequential
+/// scalar code over strided columns, well below the 15% the blocked
+/// stage-3 solver achieves.
+pub const ACCUM_EFFICIENCY: f64 = 0.04;
+
+/// Modeled flop count for replaying the stage-1 reflectors onto `k`
+/// accumulator columns of an `n × n` (padded) problem: ≈ `n²/(2·ts)·ts`
+/// reflector·row products per side, 4 flops per accumulator element
+/// touched — data-independent, so trace-only cost replay matches numeric
+/// execution class for class.
+pub fn accum_s1_flops(n: usize, k: usize) -> f64 {
+    4.0 * (n * n) as f64 * k as f64
+}
+
+/// Modeled flop count for replaying the stage-2 bulge-chase rotations:
+/// ≈ `n²·ln(ts)` rotations at 6 flops per accumulator element pair.
+pub fn accum_s2_flops(n: usize, k: usize) -> f64 {
+    16.0 * (n * n) as f64 * k as f64
+}
+
+/// Modeled flop count for replaying the stage-3 QR-sweep rotations:
+/// O(n) sweeps of O(n) rotation pairs, 6 flops per element pair per
+/// side.
+pub fn accum_s3_flops(n: usize, k: usize) -> f64 {
+    24.0 * (n * n) as f64 * k as f64
+}
+
+/// Charges the device trace for the whole accumulation replay of one
+/// solve (`k` columns on a padded problem of edge `n`). Emitted in both
+/// numeric and trace-only modes — the models are data-independent by
+/// construction, exactly like the stage-2 sweep specs — so
+/// `SvdPlan::cost()` replays agree with numeric summaries.
+pub fn account_accum_cost(dev: &Device, n: usize, k: usize) {
+    if k == 0 {
+        return;
+    }
+    dev.cpu_work(
+        KernelClass::PanelFactorization,
+        "accum_s1",
+        accum_s1_flops(n, k),
+        ACCUM_EFFICIENCY,
+    );
+    dev.cpu_work(
+        KernelClass::BandToBidiagonal,
+        "accum_s2",
+        accum_s2_flops(n, k),
+        ACCUM_EFFICIENCY,
+    );
+    dev.cpu_work(
+        KernelClass::BidiagonalSvd,
+        "accum_s3",
+        accum_s3_flops(n, k),
+        ACCUM_EFFICIENCY,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisvd_gpu::hw::h100;
+
+    /// `rot_mix` with the recorded `(c, s)` must be the exact inverse of
+    /// the forward column rotation convention (`new_f = c·f + s·g`,
+    /// `new_g = −s·f + c·g`) — replaying it on a transformed pair
+    /// restores the original.
+    #[test]
+    fn rot_mix_inverts_forward_rotation() {
+        let (c, s) = (0.6, 0.8);
+        let (f, g) = (1.25, -0.75);
+        // Forward (as BandMatrix::givens_cols applies it).
+        let nf = c * f + s * g;
+        let ng = -s * f + c * g;
+        let mut w = vec![nf, ng];
+        rot_mix(&mut w, 2, 1, 0, c, s);
+        assert!((w[0] - f).abs() < 1e-15);
+        assert!((w[1] - g).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rot_mix_touches_only_its_rows() {
+        let padded = 4;
+        let mut w: Vec<f64> = (0..padded * 2).map(|x| x as f64).collect();
+        let before = w.clone();
+        rot_mix(&mut w, padded, 2, 1, 0.0, 1.0);
+        for col in 0..2 {
+            let b = col * padded;
+            assert_eq!(w[b], before[b], "row 0 untouched");
+            assert_eq!(w[b + 3], before[b + 3], "row 3 untouched");
+            // c = 0, s = 1 swaps with a sign: (hi, lo) → (−lo, hi).
+            assert_eq!(w[b + 1], -before[b + 2]);
+            assert_eq!(w[b + 2], before[b + 1]);
+        }
+    }
+
+    /// Applying the same reflector twice must be the identity
+    /// (H² = I for a Householder reflector with τ̂ = 2/‖v̂‖²).
+    #[test]
+    fn reflector_apply_is_involutory() {
+        let padded = 6;
+        let k = 2;
+        let tail = vec![0.5, -0.25, 0.125];
+        let norm2 = 1.0 + tail.iter().map(|v| v * v).sum::<f64>();
+        let tau = 2.0 / norm2;
+        let mut w: Vec<f64> = (0..padded * k).map(|x| (x as f64).sin()).collect();
+        let orig = w.clone();
+        reflector_apply(&mut w, padded, k, 1, 3, &tail, tau);
+        assert!(w.iter().zip(&orig).any(|(a, b)| a != b), "H acted");
+        reflector_apply(&mut w, padded, k, 1, 3, &tail, tau);
+        for (a, b) in w.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-14, "H² = I");
+        }
+    }
+
+    #[test]
+    fn cost_models_scale_linearly_in_k() {
+        assert_eq!(accum_s1_flops(64, 8) * 2.0, accum_s1_flops(64, 16));
+        assert_eq!(accum_s2_flops(64, 8) * 2.0, accum_s2_flops(64, 16));
+        assert_eq!(accum_s3_flops(64, 8) * 2.0, accum_s3_flops(64, 16));
+    }
+
+    #[test]
+    fn account_accum_cost_charges_three_stages() {
+        let dev = Device::trace_only(h100());
+        account_accum_cost(&dev, 64, 8);
+        let s = dev.summary();
+        assert!(s.seconds_of(KernelClass::PanelFactorization) > 0.0);
+        assert!(s.seconds_of(KernelClass::BandToBidiagonal) > 0.0);
+        assert!(s.seconds_of(KernelClass::BidiagonalSvd) > 0.0);
+        // k = 0 charges nothing.
+        let dev0 = Device::trace_only(h100());
+        account_accum_cost(&dev0, 64, 0);
+        assert_eq!(dev0.summary().total_seconds(), 0.0);
+    }
+}

@@ -8,12 +8,14 @@
 //! on any simulated backend through [`unisvd_gpu::Device`]; the LQ sweep
 //! reuses them unchanged through the lazy-transpose view [`DMat::t`].
 
+pub mod accum;
 pub mod cost;
 pub mod layout;
 pub mod panel;
 pub mod params;
 pub mod update;
 
+pub use accum::{account_accum_cost, reflector_apply, rot_mix};
 pub use layout::{DMat, DVec};
 pub use panel::{ftsqrt, geqrt, pack_row_panel, tsqrt};
 pub use params::HyperParams;

@@ -62,10 +62,22 @@ pub fn matmul<R: Real + Scalar<Accum = R>>(a: &Matrix<R>, b: &Matrix<R>) -> Matr
 /// triangle holds the Householder vectors (unit diagonal implicit); the
 /// returned `tau[k]` are the reflector coefficients `H_k = I − τ v vᵀ`.
 pub fn householder_qr<R: Real + Scalar<Accum = R>>(a: &mut Matrix<R>) -> Vec<R> {
+    let mut tau = Vec::new();
+    householder_qr_into(a, &mut tau);
+    tau
+}
+
+/// [`householder_qr`] writing the reflector coefficients into an existing
+/// vector (cleared and refilled; capacity is kept) — the steady-state
+/// path of a reused plan that retains the factorisation for later
+/// `Q`-application, without allocating per solve. Bit-identical to
+/// [`householder_qr`].
+pub fn householder_qr_into<R: Real + Scalar<Accum = R>>(a: &mut Matrix<R>, tau: &mut Vec<R>) {
     let m = a.rows();
     let n = a.cols();
     let kmax = m.min(n);
-    let mut tau = vec![R::ZERO; kmax];
+    tau.clear();
+    tau.resize(kmax, R::ZERO);
 
     for k in 0..kmax {
         // Norm of the column below (and including) the diagonal.
@@ -104,7 +116,43 @@ pub fn householder_qr<R: Real + Scalar<Accum = R>>(a: &mut Matrix<R>) -> Vec<R> 
             }
         }
     }
-    tau
+}
+
+/// Applies the orthogonal factor of [`householder_qr`] to a dense
+/// column-major block in place: `w ← Q·w`, where `w` is `m × k` flat
+/// column-major and `qr`/`tau` are the retained factorisation of an
+/// `m × n` matrix (flat column-major `qr`, leading dimension `m`). The
+/// reflector loop is [`form_q`]'s, applied to `w`'s columns instead of
+/// the identity — used by the tall/wide singular-vector assembly to lift
+/// device-frame vectors through the host QR without forming `Q`.
+pub fn apply_q_inplace<R: Real + Scalar<Accum = R>>(
+    qr: &[R],
+    tau: &[R],
+    m: usize,
+    w: &mut [R],
+    k: usize,
+) {
+    assert_eq!(w.len(), m * k, "w must be m × k column-major");
+    // Q = H_0 H_1 … H_{kmax-1}; apply from the last reflector backwards.
+    for kr in (0..tau.len()).rev() {
+        let t = tau[kr];
+        if t == R::ZERO {
+            continue;
+        }
+        let v = &qr[kr * m..(kr + 1) * m];
+        for col in w.chunks_exact_mut(m) {
+            let mut s = col[kr];
+            for i in (kr + 1)..m {
+                s += v[i] * col[i];
+            }
+            s *= t;
+            col[kr] -= s;
+            for i in (kr + 1)..m {
+                let x = col[i] - s * v[i];
+                col[i] = x;
+            }
+        }
+    }
 }
 
 /// Forms the explicit orthogonal factor `Q` (m × m) from the output of

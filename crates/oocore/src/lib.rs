@@ -129,7 +129,12 @@ impl<T: Scalar> OutOfCore<T> {
     pub fn plan(self, rows: usize, cols: usize) -> Result<OutOfCorePlan<T>, PlanError> {
         let elem = T::KIND.bytes() as u64;
         let budget = self.hw.budget_bytes();
-        let tall = cols > 0 && rows >= 2 * cols;
+        // TSQR hands the device only the reduced n × n R, whose singular
+        // *vectors* are not A's left vectors (the panel Q factors are
+        // discarded) — vector requests therefore always resolve to
+        // streaming, whose inner plan runs the full pipeline on the real
+        // operand and accumulates correctly.
+        let tall = cols > 0 && rows >= 2 * cols && self.cfg.vectors == unisvd_core::Want::None;
         let use_tsqr = match self.mode {
             OocMode::Tsqr => tall,
             OocMode::Auto => {

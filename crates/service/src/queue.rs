@@ -70,6 +70,7 @@ impl SubmitQueue {
     /// instead of losing its ticket resolver. The depth check and the
     /// append are one critical section, so concurrent submitters can
     /// never overshoot the bound.
+    #[allow(clippy::result_large_err)] // Err IS the handed-back entry, not a descriptor
     pub fn try_push(&self, p: Pending, max_depth: usize) -> Result<(), Pending> {
         {
             let mut g = self.lock();
@@ -86,6 +87,7 @@ impl SubmitQueue {
     /// (the entry was admitted once already), and on refusal — this
     /// queue failed too — the entry is handed back instead of dropped,
     /// so its ticket's resolver survives for another route.
+    #[allow(clippy::result_large_err)] // Err IS the handed-back entry, not a descriptor
     pub fn adopt_push(&self, p: Pending) -> Result<(), Pending> {
         {
             let mut g = self.lock();

@@ -56,7 +56,7 @@ pub use unisvd_core::{
     band_to_bidiagonal, band_to_bidiagonal_into, bdsqr, bdsqr_into, bisect, bisect_into, dqds,
     dqds_into, svdvals, svdvals_batched, svdvals_batched_with, svdvals_cost, svdvals_with,
     PlanError, PlanProbe, PlanSignature, Stage3Solver, Stage3Workspace, Svd, SvdConfig, SvdError,
-    SvdOutput, SvdPlan,
+    SvdOutput, SvdPlan, Want,
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{

@@ -140,6 +140,56 @@ fn steady_state_allocates_zero_bytes() {
         assert!(!out.values.is_empty(), "the measured solves ran for real");
     }
 
+    // ---- warm execute_into with singular vectors ---------------------
+    // Vector accumulation logs every stage-2/3 rotation, and the count is
+    // data-dependent — so warmup runs over the SAME matrices the
+    // measurement will replay (one pass grows each log to that matrix's
+    // exact footprint; capacity only ever grows). Thin and top-k both
+    // must be allocation-free once warm, for every solver.
+    for want in [unisvd::Want::Thin, unisvd::Want::TopK(N / 4)] {
+        for solver in [
+            Stage3Solver::Bdsqr,
+            Stage3Solver::Dqds,
+            Stage3Solver::Bisect,
+        ] {
+            let inputs = if solver == Stage3Solver::Dqds {
+                &coupled
+            } else {
+                &inputs
+            };
+            let cfg = SvdConfig {
+                solver,
+                vectors: want,
+                ..SvdConfig::default()
+            };
+            let mut plan = Svd::on(&h100())
+                .precision::<f32>()
+                .config(cfg)
+                .plan(N, N)
+                .unwrap();
+            let mut out = SvdOutput::empty();
+            for a in inputs {
+                plan.execute_into(a, &mut out).unwrap();
+            }
+            let (allocs, bytes) = measure(|| {
+                for a in inputs {
+                    plan.execute_into(a, &mut out).unwrap();
+                }
+            });
+            assert_eq!(
+                (allocs, bytes),
+                (0, 0),
+                "warm execute_into with {want:?} vectors ({solver:?}) must not \
+                 allocate: {allocs} allocations / {bytes} bytes over {} solves",
+                inputs.len()
+            );
+            assert!(
+                out.u.is_some() && out.vt.is_some(),
+                "the measured solves produced factors"
+            );
+        }
+    }
+
     // ---- multi-workgroup launches (work-stealing pool engaged) -------
     // 64x64 stage-1 updates and stage-2 sweeps launch several workgroups
     // per kernel, so the measured window crosses the thread pool: job
@@ -334,6 +384,20 @@ fn steady_state_allocates_zero_bytes() {
         unisvd::svdvals_with(&inputs[0], &dev, &cfg).unwrap();
     });
     budget_rows.push(("one-shot svdvals_with".into(), allocs, bytes));
+
+    let mut vplan = Svd::on(&h100())
+        .precision::<f32>()
+        .config(SvdConfig {
+            vectors: unisvd::Want::Thin,
+            ..cfg
+        })
+        .plan(N, N)
+        .unwrap();
+    let mut vout = SvdOutput::empty();
+    let (allocs, bytes) = measure(|| {
+        vplan.execute_into(&inputs[0], &mut vout).unwrap();
+    });
+    budget_rows.push(("first execute_into (thin vectors)".into(), allocs, bytes));
 
     let service = SvdService::new(&h100());
     let (allocs, bytes) = measure(|| {

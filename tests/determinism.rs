@@ -396,6 +396,127 @@ fn oocore_tsqr_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn vector_solves_bit_identical_across_thread_counts() {
+    // The singular-vector acceptance gate: accumulation replays a
+    // sequential host-side transform log, so `U` and `Vᵀ` — not just the
+    // values — must carry identical bits at 1, 4, and 8 threads, for both
+    // thin and truncated requests.
+    use unisvd::Want;
+    let mats = golden_batch();
+    let factor_bits = |out: &unisvd::SvdOutput| -> Vec<u64> {
+        let mut bits: Vec<u64> = out.values.iter().map(|v| v.to_bits()).collect();
+        let u = out.u.as_ref().expect("vectors requested");
+        let vt = out.vt.as_ref().expect("vectors requested");
+        for j in 0..u.cols() {
+            for i in 0..u.rows() {
+                bits.push(u[(i, j)].to_bits());
+            }
+        }
+        for j in 0..vt.cols() {
+            for i in 0..vt.rows() {
+                bits.push(vt[(i, j)].to_bits());
+            }
+        }
+        bits
+    };
+    for want in [Want::Thin, Want::TopK(5)] {
+        let cfg = SvdConfig {
+            vectors: want,
+            ..SvdConfig::default()
+        };
+        let run = |t: usize| -> Vec<Vec<u64>> {
+            pool(t).install(|| {
+                mats.iter()
+                    .map(|a| {
+                        let mut plan = Svd::on(&hw::h100())
+                            .precision::<f64>()
+                            .config(cfg)
+                            .plan(a.rows(), a.cols())
+                            .unwrap();
+                        factor_bits(&plan.execute(a).unwrap())
+                    })
+                    .collect()
+            })
+        };
+        let sequential = run(1);
+        for t in [4, 8] {
+            assert_eq!(
+                run(t),
+                sequential,
+                "{want:?} vectors changed bits at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn service_and_fleet_vector_solves_bit_identical() {
+    // Vector requests through the serving layers: cached plans, coalesced
+    // batches, and fleet routing must all carry the bits of a directly
+    // driven plan — now including `U` / `Vᵀ`.
+    use unisvd::{SvdFleet, Want};
+    let mats = golden_batch();
+    let cfg = SvdConfig {
+        vectors: Want::Thin,
+        params: Some(HyperParams::new(16, 8, 1)),
+        ..SvdConfig::default()
+    };
+    let all_bits = |out: &unisvd::SvdOutput| -> Vec<u64> {
+        let mut bits: Vec<u64> = out.values.iter().map(|v| v.to_bits()).collect();
+        for m in [out.u.as_ref().unwrap(), out.vt.as_ref().unwrap()] {
+            for j in 0..m.cols() {
+                for i in 0..m.rows() {
+                    bits.push(m[(i, j)].to_bits());
+                }
+            }
+        }
+        bits
+    };
+    let direct: Vec<Vec<u64>> = mats
+        .iter()
+        .map(|a| {
+            let mut plan = Svd::on(&hw::h100())
+                .precision::<f64>()
+                .config(cfg)
+                .plan(a.rows(), a.cols())
+                .unwrap();
+            all_bits(&plan.execute(a).unwrap())
+        })
+        .collect();
+    for t in [1, 4, 8] {
+        pool(t).install(|| {
+            let service = SvdService::new(&hw::h100());
+            for pass in ["cold", "warm"] {
+                for (a, want) in mats.iter().zip(&direct) {
+                    let got = all_bits(&service.solve(a, &cfg).unwrap());
+                    assert_eq!(
+                        &got, want,
+                        "{pass} service vector solve changed bits at {t} threads"
+                    );
+                }
+            }
+            let fleet = SvdFleet::builder()
+                .device(hw::h100())
+                .device(hw::mi250())
+                .replicate_after(2)
+                .build();
+            for (a, want) in mats.iter().zip(&direct) {
+                let got = all_bits(&fleet.solve(a, &cfg).unwrap());
+                assert_eq!(&got, want, "fleet vector solve changed bits at {t} threads");
+            }
+            let tickets: Vec<_> = mats
+                .iter()
+                .map(|a| service.submit(a.clone(), &cfg).expect("admitted"))
+                .collect();
+            for (ticket, want) in tickets.into_iter().zip(&direct) {
+                let got = all_bits(&ticket.wait().unwrap());
+                assert_eq!(&got, want, "async vector solve changed bits at {t} threads");
+            }
+        });
+    }
+}
+
+#[test]
 fn parallel_reductions_bit_identical_across_thread_counts() {
     // Non-associative float sum: chunk boundaries (and therefore the
     // combination tree) must not depend on the thread count.

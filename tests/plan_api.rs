@@ -172,7 +172,7 @@ fn config_and_errors_display() {
     let cfg = SvdConfig::default();
     assert_eq!(
         cfg.to_string(),
-        "params=auto fused=true solver=Bdsqr rescale=true"
+        "params=auto fused=true solver=Bdsqr rescale=true vectors=none"
     );
     let pinned = SvdConfig {
         params: Some(unisvd::HyperParams::new(8, 4, 1)),
@@ -180,7 +180,7 @@ fn config_and_errors_display() {
     };
     assert_eq!(
         pinned.to_string(),
-        "params=[TILESIZE=8 COLPERBLOCK=4 SPLITK=1] fused=true solver=Bdsqr rescale=true"
+        "params=[TILESIZE=8 COLPERBLOCK=4 SPLITK=1] fused=true solver=Bdsqr rescale=true vectors=none"
     );
     let err = Svd::on(&hw::m1_pro())
         .precision::<f64>()

@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 use unisvd::reference::sv_relative_error;
-use unisvd::{bdsqr, bisect, hw, jacobi_svdvals, svdvals, Bidiagonal, Device, Matrix, F16};
+use unisvd::{
+    bdsqr, bisect, hw, jacobi_svdvals, svdvals, svdvals_with, Bidiagonal, Device, Matrix,
+    SvdConfig, Want, F16,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -107,6 +110,86 @@ proptest! {
             let err = (h.to_f32() - x).abs();
             let ulp = (x.abs() * F16::EPSILON.to_f32()).max(f32::MIN_POSITIVE);
             prop_assert!(err <= ulp, "|{h:?} - {x}| = {err} > ulp {ulp}");
+        }
+    }
+
+    /// Truncated mode: for every solver, `TopK(k)` values are the
+    /// bit-for-bit prefix of the full descending value list — truncation
+    /// must never perturb what it keeps.
+    #[test]
+    fn topk_values_are_bitwise_prefix(
+        n in 4usize..28,
+        seed in any::<u64>(),
+        kfrac in 1usize..=4,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use unisvd::Stage3Solver;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = unisvd::testmat::random_general::<f64, _>(n, n, &mut rng);
+        let dev = Device::numeric(hw::h100());
+        let k = (n * kfrac / 4).max(1);
+        for solver in [Stage3Solver::Bdsqr, Stage3Solver::Dqds, Stage3Solver::Bisect] {
+            let full = svdvals_with(&a, &dev, &SvdConfig { solver, ..SvdConfig::default() })
+                .unwrap();
+            let cfg = SvdConfig { solver, vectors: Want::TopK(k), ..SvdConfig::default() };
+            let top = svdvals_with(&a, &dev, &cfg).unwrap();
+            prop_assert_eq!(top.values.len(), k);
+            for i in 0..k {
+                prop_assert_eq!(
+                    top.values[i].to_bits(), full.values[i].to_bits(),
+                    "{:?}: σ[{}] diverged: {} vs {}", solver, i, top.values[i], full.values[i]
+                );
+            }
+        }
+    }
+
+    /// `TopK(min(m, n))` is exactly `Thin`: same values, same `U`, same
+    /// `Vᵀ`, bit for bit.
+    #[test]
+    fn topk_full_rank_equals_thin(n in 4usize..24, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = unisvd::testmat::random_general::<f64, _>(n, n, &mut rng);
+        let dev = Device::numeric(hw::h100());
+        let thin = svdvals_with(&a, &dev, &SvdConfig {
+            vectors: Want::Thin, ..SvdConfig::default()
+        }).unwrap();
+        let topn = svdvals_with(&a, &dev, &SvdConfig {
+            vectors: Want::TopK(n), ..SvdConfig::default()
+        }).unwrap();
+        prop_assert_eq!(thin.values.len(), topn.values.len());
+        for i in 0..n {
+            prop_assert_eq!(thin.values[i].to_bits(), topn.values[i].to_bits());
+        }
+        let (tu, ku) = (thin.u.unwrap(), topn.u.unwrap());
+        let (tv, kv) = (thin.vt.unwrap(), topn.vt.unwrap());
+        prop_assert_eq!((tu.rows(), tu.cols()), (ku.rows(), ku.cols()));
+        for j in 0..tu.cols() {
+            for i in 0..tu.rows() {
+                prop_assert_eq!(tu[(i, j)].to_bits(), ku[(i, j)].to_bits());
+            }
+        }
+        for j in 0..tv.cols() {
+            for i in 0..tv.rows() {
+                prop_assert_eq!(tv[(i, j)].to_bits(), kv[(i, j)].to_bits());
+            }
+        }
+    }
+
+    /// Requesting vectors must not change the values: bit-identical to a
+    /// values-only solve (the logging hooks add no arithmetic).
+    #[test]
+    fn vectors_do_not_perturb_values(n in 4usize..24, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = unisvd::testmat::random_general::<f64, _>(n, n, &mut rng);
+        let dev = Device::numeric(hw::h100());
+        let plain = svdvals_with(&a, &dev, &SvdConfig::default()).unwrap();
+        let with_v = svdvals_with(&a, &dev, &SvdConfig {
+            vectors: Want::Thin, ..SvdConfig::default()
+        }).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(plain.values[i].to_bits(), with_v.values[i].to_bits());
         }
     }
 
