@@ -1,0 +1,285 @@
+//! `fig_chaos` — the chaos gate: the bursty async serving trace of
+//! `fig_latency` replayed twice on the simulated H100 — once fault-free,
+//! once under a seeded fault schedule (~4% transfer corruption, rare
+//! kernel stalls, occasional transient allocation failures) with the
+//! self-healing stack enabled (`retry(2)` + output verification).
+//!
+//! Gates (asserted before any number is reported):
+//!
+//! * **zero lost tickets** — every submission resolves on both paths,
+//!   with `Ok` or a typed error, never a hang;
+//! * **the schedule is real** — the same trace on an *unprotected*
+//!   service (no retries) must lose requests;
+//! * **determinism** — two fresh chaotic services replaying the same
+//!   sequential trace produce bit-identical outcomes, success/failure
+//!   pattern included;
+//! * **accounting** — both services' memory ledgers balance after the
+//!   storm;
+//! * with ≥ 2 host threads: **goodput ≥ 0.7×** the fault-free replay
+//!   and **p99 ≤ 10×** the fault-free p99 (retries and stalls may tax
+//!   the tail, but must keep it bounded).
+//!
+//! All metrics land in the `BENCH_JSON` artifact (`BENCH_chaos.json`
+//! in CI).
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+use unisvd_core::SvdConfig;
+use unisvd_gpu::hw::h100;
+use unisvd_gpu::FaultPlan;
+use unisvd_matrix::{testmat, Matrix, SvDistribution};
+use unisvd_service::{ServiceBuilder, SvdService};
+
+const SHAPES: [usize; 3] = [32, 48, 64];
+const BURST: usize = 6;
+
+fn bursts() -> usize {
+    if criterion::quick_mode() {
+        9
+    } else {
+        18
+    }
+}
+
+/// The seeded schedule under test: frequent-enough corruption to bite
+/// (several faults per burst at ~4% of uploads), stalls and transient
+/// allocation failures rare but present.
+fn chaos() -> FaultPlan {
+    FaultPlan::seeded(0xC4A0_5EED)
+        .corrupt_rate(0.04)
+        .stall_rate(0.001)
+        .alloc_fail_rate(0.01)
+}
+
+fn trace() -> Vec<Matrix<f32>> {
+    let mut rng = StdRng::seed_from_u64(0x1A7E4C);
+    (0..bursts())
+        .flat_map(|b| {
+            let n = SHAPES[b % SHAPES.len()];
+            (0..BURST)
+                .map(|_| {
+                    testmat::test_matrix::<f32, _>(n, SvDistribution::Logarithmic, true, &mut rng).0
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn warm_service(cfg: &SvdConfig, builder: ServiceBuilder) -> SvdService {
+    let service = builder.build();
+    for n in SHAPES {
+        // Warming may itself hit the fault schedule; retries (when
+        // configured) absorb it, and a failed warm solve is harmless.
+        let _ = service.solve(&Matrix::<f32>::identity(n), cfg);
+    }
+    service
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// One replay outcome: per-ticket resolution latencies (seconds, trace
+/// order), the number of `Ok` resolutions, and the makespan.
+struct Replay {
+    latencies: Vec<f64>,
+    ok: usize,
+    makespan: f64,
+}
+
+impl Replay {
+    fn summarize(&self) -> (f64, f64, f64) {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let goodput = self.ok as f64 / self.makespan;
+        (percentile(&sorted, 0.5), percentile(&sorted, 0.99), goodput)
+    }
+}
+
+/// Replays the trace burst-by-burst through the async submit path:
+/// every burst is submitted at once (exercising the coalescer), then
+/// drained. Every ticket must resolve — `wait` returning is the
+/// zero-lost-tickets gate.
+fn replay(service: &SvdService, trace: &[Matrix<f32>], cfg: &SvdConfig) -> Replay {
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut ok = 0;
+    for burst in trace.chunks(BURST) {
+        let submitted = Instant::now();
+        let tickets: Vec<_> = burst
+            .iter()
+            .map(|m| {
+                service
+                    .submit(m.clone(), cfg)
+                    .expect("trace fits the default queue depth")
+            })
+            .collect();
+        for ticket in tickets {
+            if ticket.wait().is_ok() {
+                ok += 1;
+            }
+            latencies.push(submitted.elapsed().as_secs_f64());
+        }
+    }
+    Replay {
+        latencies,
+        ok,
+        makespan: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Sequential blocking replay used for the determinism gate: outcome
+/// pattern plus value bits for successful solves, `None` for typed
+/// failures.
+fn sequential_outcomes(
+    service: &SvdService,
+    trace: &[Matrix<f32>],
+    cfg: &SvdConfig,
+) -> Vec<Option<Vec<u64>>> {
+    trace
+        .iter()
+        .map(|m| {
+            service
+                .solve(m, cfg)
+                .ok()
+                .map(|out| out.values.iter().map(|v| v.to_bits()).collect())
+        })
+        .collect()
+}
+
+fn fig_chaos(c: &mut Criterion) {
+    let cfg = SvdConfig::default();
+    let trace = trace();
+    let requests = trace.len();
+    let chaotic_hw = h100().with_faults(chaos());
+
+    // --- gate: the schedule is real -----------------------------------
+    // An unprotected service (no retries, verification on) must lose
+    // requests to the same schedule the healing stack will absorb.
+    let naked = warm_service(&cfg, SvdService::builder(&chaotic_hw).verify_outputs(true));
+    let naked_failures = sequential_outcomes(&naked, &trace, &cfg)
+        .iter()
+        .filter(|o| o.is_none())
+        .count();
+    assert!(
+        naked_failures > 0,
+        "the fault schedule must bite an unprotected service"
+    );
+
+    // --- gate: chaotic replay is deterministic ------------------------
+    let healer = |_: ()| {
+        warm_service(
+            &cfg,
+            SvdService::builder(&chaotic_hw)
+                .retry(2)
+                .verify_outputs(true),
+        )
+    };
+    let run_a = sequential_outcomes(&healer(()), &trace, &cfg);
+    let run_b = sequential_outcomes(&healer(()), &trace, &cfg);
+    assert_eq!(
+        run_a, run_b,
+        "two fresh services must replay the seeded schedule bit-identically"
+    );
+
+    // --- the measured replays -----------------------------------------
+    let clean_service = warm_service(&cfg, SvdService::builder(&h100()));
+    let clean = replay(&clean_service, &trace, &cfg);
+    let chaos_service = healer(());
+    let stormy = replay(&chaos_service, &trace, &cfg);
+
+    // Zero lost tickets: every submission resolved (wait() returned for
+    // all of them) and the queue accounts for every request.
+    assert_eq!(clean.latencies.len(), requests);
+    assert_eq!(stormy.latencies.len(), requests);
+    let qs = chaos_service.stats().queue;
+    assert_eq!(
+        qs.submitted, requests as u64,
+        "every submission must be accounted for"
+    );
+    assert!(
+        clean_service.ledger_in_balance() && chaos_service.ledger_in_balance(),
+        "memory accounting must balance after the storm"
+    );
+
+    let (c_p50, c_p99, c_goodput) = clean.summarize();
+    let (s_p50, s_p99, s_goodput) = stormy.summarize();
+    let ratio = s_goodput / c_goodput;
+    let threads = rayon::current_num_threads();
+
+    println!(
+        "\nfig_chaos ({requests} requests, {} bursts of {BURST}, \
+         {threads} host thread(s), H100, ~4% corruption + stalls + alloc faults):",
+        bursts()
+    );
+    println!(
+        "  {:<12} {:>12} {:>12} {:>14} {:>8}",
+        "path", "p50", "p99", "goodput", "served"
+    );
+    for (label, p50, p99, goodput, ok) in [
+        ("fault-free", c_p50, c_p99, c_goodput, clean.ok),
+        ("chaos", s_p50, s_p99, s_goodput, stormy.ok),
+    ] {
+        println!(
+            "  {label:<12} {:>9.0} µs {:>9.0} µs {:>10.0} req/s {ok:>5}/{requests}",
+            p50 * 1e6,
+            p99 * 1e6,
+            goodput
+        );
+    }
+    println!(
+        "  chaos/fault-free goodput: {ratio:.2}x (unprotected lost {naked_failures}/{requests})"
+    );
+
+    record_metric("fig_chaos/clean_p50_s", c_p50);
+    record_metric("fig_chaos/clean_p99_s", c_p99);
+    record_metric("fig_chaos/clean_goodput_req_per_s", c_goodput);
+    record_metric("fig_chaos/chaos_p50_s", s_p50);
+    record_metric("fig_chaos/chaos_p99_s", s_p99);
+    record_metric("fig_chaos/chaos_goodput_req_per_s", s_goodput);
+    record_metric("fig_chaos/goodput_ratio_x", ratio);
+    record_metric(
+        "fig_chaos/unprotected_loss_rate",
+        naked_failures as f64 / requests as f64,
+    );
+    record_metric("fig_chaos/served", stormy.ok as f64);
+
+    // The performance gates only bind when the host pool can absorb
+    // retries in parallel; the 1-thread CI leg still runs every
+    // correctness gate above.
+    if threads >= 2 {
+        assert!(
+            ratio >= 0.7,
+            "self-healing must hold >= 0.7x fault-free goodput, got {ratio:.3}x"
+        );
+        assert!(
+            s_p99 <= c_p99 * 10.0,
+            "chaos p99 ({:.0} µs) must stay within 10x the fault-free p99 ({:.0} µs)",
+            s_p99 * 1e6,
+            c_p99 * 1e6
+        );
+    }
+
+    // Standard timing-loop datapoint: one warm solve under the schedule
+    // with the healing stack on, versus fault-free.
+    let mut g = c.benchmark_group("fig_chaos");
+    g.sample_size(10);
+    let a = &trace[0];
+    g.bench_function("warm_solve_fault_free", |b| {
+        b.iter(|| clean_service.solve(a, &cfg).expect("fault-free solve"))
+    });
+    g.bench_function("warm_solve_under_chaos", |b| {
+        b.iter(|| {
+            // Individual attempts may fault; the retry loop makes the
+            // visible call overwhelmingly succeed, and a residual typed
+            // error is still a valid (measured) resolution.
+            let _ = chaos_service.solve(a, &cfg);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig_chaos);
+criterion_main!(benches);

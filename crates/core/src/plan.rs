@@ -945,10 +945,14 @@ impl<T: Scalar> SvdPlan<T> {
     /// A private clone with its own device stream and workspaces — the
     /// per-chunk worker the batch pool retains and leases out.
     fn worker(&self) -> SvdPlan<T> {
-        SvdPlan::from_parts(
-            Device::new(self.dev.hw().clone(), self.dev.mode()),
-            self.core.clone(),
-        )
+        // Workers run fault-free: which batch lands on which pooled
+        // worker depends on arrival timing in a serving layer, so
+        // injecting on worker streams would make fault schedules
+        // irreproducible. Injection rides the plan's primary device
+        // stream (and each retry attempt advances its counters).
+        let mut hw = self.dev.hw().clone();
+        hw.fault = None;
+        SvdPlan::from_parts(Device::new(hw, self.dev.mode()), self.core.clone())
     }
 
     /// Simulated per-execute cost of this plan: replays the identical
@@ -1107,7 +1111,7 @@ pub(crate) fn execute_core<T: Scalar>(
         tau.fill(T::zero());
     }
 
-    run_pipeline::<T>(
+    let piped = run_pipeline::<T>(
         dev,
         buf,
         tau,
@@ -1117,7 +1121,17 @@ pub(crate) fn execute_core<T: Scalar>(
         driver,
         &mut ws.pipe,
         &mut out.values,
-    )?;
+    );
+    // Drain the device's fault latch *before* interpreting the pipeline
+    // result: a fault injected during this solve (corrupted upload,
+    // watchdog-killed stall, device death) poisons whatever came out —
+    // including a convergence failure that is really corruption in
+    // disguise — so the typed fault wins over both `Ok` and the
+    // pipeline's own error.
+    if let Some(fault) = dev.take_fault() {
+        return Err(SvdError::DeviceFault(fault));
+    }
+    piped?;
     out.values.truncate(core.mindim);
     if let Want::TopK(k) = core.cfg.vectors {
         // Truncated mode: the values list is the top-k prefix of the full

@@ -10,7 +10,9 @@ use crate::bidiag_svd::NoConvergence;
 use crate::plan::{
     execute_core, run_pipeline, DriverCost, PipelineScratch, PlanCore, PlanError, Svd,
 };
-use unisvd_gpu::{Device, ExecMode, HardwareDescriptor, TraceSummary, UnsupportedPrecision};
+use unisvd_gpu::{
+    Device, DeviceFault, ExecMode, HardwareDescriptor, TraceSummary, UnsupportedPrecision,
+};
 use unisvd_kernels::HyperParams;
 use unisvd_matrix::Matrix;
 use unisvd_scalar::Scalar;
@@ -170,6 +172,79 @@ impl SvdOutput {
             },
         }
     }
+
+    /// Cheap structural sanity check — the serving layer's last line of
+    /// defence against serving a corrupted solve as if it were good.
+    ///
+    /// Verifies (allocation-free, `O(values + vector elements)`):
+    ///
+    /// * every singular value is finite, non-negative, and the list is
+    ///   non-increasing (the ordering every solver in this workspace
+    ///   guarantees);
+    /// * when vectors are present, all entries are finite, each column
+    ///   of `U` (row of `Vᵀ`) has unit norm to a loose tolerance, and
+    ///   the first two columns are orthogonal.
+    ///
+    /// This is a *spot check*, not a residual proof: it catches the NaN
+    /// poisoning and gross garbage that injected transfer corruption
+    /// produces, at a cost far below re-running the solve. A clean pass
+    /// does not certify accuracy — the accuracy suite does that.
+    pub fn verify(&self) -> Result<(), &'static str> {
+        let mut prev = f64::INFINITY;
+        for &v in &self.values {
+            if !v.is_finite() {
+                return Err("non-finite singular value");
+            }
+            if v < 0.0 {
+                return Err("negative singular value");
+            }
+            if v > prev {
+                return Err("singular values not in descending order");
+            }
+            prev = v;
+        }
+        const TOL: f64 = 5e-2;
+        for (factor, along_rows) in [(&self.u, true), (&self.vt, false)] {
+            let Some(m) = factor else { continue };
+            // Columns of U are the vectors; rows of Vᵀ are. `k` is the
+            // number of vectors either way.
+            let (k, len) = if along_rows {
+                (m.cols(), m.rows())
+            } else {
+                (m.rows(), m.cols())
+            };
+            if len == 0 {
+                continue;
+            }
+            let at = |vec: usize, i: usize| {
+                if along_rows {
+                    m[(i, vec)]
+                } else {
+                    m[(vec, i)]
+                }
+            };
+            for vec in 0..k {
+                let mut norm2 = 0.0;
+                for i in 0..len {
+                    let x = at(vec, i);
+                    if !x.is_finite() {
+                        return Err("non-finite singular vector entry");
+                    }
+                    norm2 += x * x;
+                }
+                if (norm2.sqrt() - 1.0).abs() > TOL {
+                    return Err("singular vector is not unit-norm");
+                }
+            }
+            if k >= 2 {
+                let dot: f64 = (0..len).map(|i| at(0, i) * at(1, i)).sum();
+                if dot.abs() > TOL {
+                    return Err("leading singular vectors are not orthogonal");
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Errors of the unified API.
@@ -199,6 +274,33 @@ pub enum SvdError {
         /// The admission error's human-readable rendering.
         reason: String,
     },
+    /// A (simulated) hardware fault poisoned this solve — a corrupted
+    /// transfer, a watchdog-killed kernel stall, or device death,
+    /// detected via the device's fault latch — and the result was
+    /// discarded rather than served. [`is_transient`](Self::is_transient)
+    /// distinguishes retryable faults from terminal death.
+    DeviceFault(DeviceFault),
+    /// The request missed its deadline: a
+    /// `Ticket::wait_timeout` elapsed, or the serving drainer found the
+    /// request's submit-time deadline already expired before execution.
+    Timeout {
+        /// How long the caller waited (for `wait_timeout`), or by how
+        /// much the deadline had been exceeded when the drainer
+        /// discarded the request.
+        waited: std::time::Duration,
+    },
+}
+
+impl SvdError {
+    /// Whether retrying this request — on the same device or another —
+    /// can plausibly succeed. Only injected hardware faults short of
+    /// device death qualify; every other variant (shape/support/plan
+    /// errors, convergence failure, admission rejections, timeouts) is
+    /// deterministic or caller-scoped, and retrying would just repeat it.
+    /// The serving layer's bounded-retry policy keys on this.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SvdError::DeviceFault(fault) if fault.kind.is_transient())
+    }
 }
 
 impl std::fmt::Display for SvdError {
@@ -213,6 +315,10 @@ impl std::fmt::Display for SvdError {
             ),
             SvdError::Plan(e) => write!(f, "{e}"),
             SvdError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            SvdError::DeviceFault(e) => write!(f, "device fault: {e}"),
+            SvdError::Timeout { waited } => {
+                write!(f, "request timed out after {:.1?}", waited)
+            }
         }
     }
 }
@@ -226,8 +332,17 @@ impl std::error::Error for SvdError {
             SvdError::Unsupported(u) => Some(u),
             SvdError::NoConvergence(e) => Some(e),
             SvdError::Plan(e) => Some(e),
-            SvdError::ShapeMismatch { .. } | SvdError::Rejected { .. } => None,
+            SvdError::DeviceFault(e) => Some(e),
+            SvdError::ShapeMismatch { .. }
+            | SvdError::Rejected { .. }
+            | SvdError::Timeout { .. } => None,
         }
+    }
+}
+
+impl From<DeviceFault> for SvdError {
+    fn from(fault: DeviceFault) -> Self {
+        SvdError::DeviceFault(fault)
     }
 }
 

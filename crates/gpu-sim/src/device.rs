@@ -3,6 +3,7 @@
 use crate::arena::WorkgroupArena;
 use crate::buffer::GlobalBuffer;
 use crate::cost::{cost_of_cpu_work, cost_of_launch, cost_of_transfer, KernelClass, LaunchSpec};
+use crate::fault::{DeviceFault, FaultInjector, FaultKind, FaultRecord};
 use crate::hw::{HardwareDescriptor, UnsupportedPrecision};
 use crate::trace::{LaunchRecord, Trace, TraceSummary};
 use crate::workgroup::Workgroup;
@@ -32,11 +33,19 @@ pub struct Device {
     race_check: bool,
     epoch: std::sync::atomic::AtomicU64,
     arena: WorkgroupArena,
+    /// Built from `desc.fault`; `None` for the (default) fault-free
+    /// descriptors, so the hot path pays one branch.
+    faults: Option<FaultInjector>,
 }
 
 impl Device {
     /// Creates a device in the given execution mode.
     pub fn new(desc: HardwareDescriptor, mode: ExecMode) -> Self {
+        let faults = desc
+            .fault
+            .clone()
+            .filter(|p| p.is_active())
+            .map(|p| FaultInjector::new(p, desc.name));
         Device {
             desc,
             mode,
@@ -44,6 +53,7 @@ impl Device {
             race_check: false,
             epoch: std::sync::atomic::AtomicU64::new(0),
             arena: WorkgroupArena::default(),
+            faults,
         }
     }
 
@@ -116,6 +126,13 @@ impl Device {
         F: Fn(&mut Workgroup<R>) + Sync,
     {
         let cost = cost_of_launch(&self.desc, spec);
+        // Injection decision on the issuing thread, *before* the
+        // workgroup fan-out — the fault schedule must not depend on how
+        // the pool interleaves workgroups.
+        let stall = match self.faults.as_ref().and_then(|f| f.on_launch()) {
+            Some(FaultKind::Stall) => self.desc.fault.as_ref().map(|p| p.stall_factor),
+            _ => None,
+        };
         let mut rec = LaunchRecord {
             class: spec.class,
             label: spec.label,
@@ -128,6 +145,12 @@ impl Device {
             spill: cost.spill,
             wg_steps: Vec::new(),
         };
+        if let Some(factor) = stall {
+            // A stalled kernel burns wall-clock until the watchdog kills
+            // it; the inflated cost shows up in the trace, and the latch
+            // (drained by `take_fault`) marks the results untrustworthy.
+            rec.seconds *= factor.max(1.0);
+        }
         let mut steps_slots: Option<Vec<u32>> = None;
         if self.mode == ExecMode::Numeric {
             // Numeric geometry may differ from the costed geometry for
@@ -226,13 +249,30 @@ impl Device {
     /// zero-length placeholder (trace mode — no memory is touched).
     pub fn upload<T: Scalar>(&self, host: &[T]) -> GlobalBuffer<T> {
         let buf = match self.mode {
-            ExecMode::Numeric => GlobalBuffer::from_vec(host.to_vec()),
+            ExecMode::Numeric => {
+                let buf = GlobalBuffer::from_vec(host.to_vec());
+                self.corrupt_transfer(&buf);
+                buf
+            }
             ExecMode::TraceOnly => GlobalBuffer::from_vec(Vec::new()),
         };
         if self.race_check {
             buf.with_race_tags()
         } else {
             buf
+        }
+    }
+
+    /// Fault-injection hook for host→device transfers: when the
+    /// descriptor's [`FaultPlan`](crate::FaultPlan) fires on this upload
+    /// event, one element of `buf` is poisoned with NaN — the simulated
+    /// bit flip. The latch (drained by [`take_fault`](Self::take_fault))
+    /// is what lets the execution layer classify the garbage result.
+    fn corrupt_transfer<T: Scalar>(&self, buf: &GlobalBuffer<T>) {
+        if let Some(inj) = &self.faults {
+            if let Some(idx) = inj.on_upload(buf.len()) {
+                buf.write(idx, T::from_f64(f64::NAN));
+            }
         }
     }
 
@@ -246,6 +286,7 @@ impl Device {
     pub fn upload_into<T: Scalar>(&self, host: &[T], buf: &GlobalBuffer<T>) {
         if self.mode == ExecMode::Numeric {
             buf.copy_from_host(host);
+            self.corrupt_transfer(buf);
         }
     }
 
@@ -287,6 +328,40 @@ impl Device {
     /// Clears the trace.
     pub fn reset(&self) {
         self.trace.lock().reset();
+    }
+
+    /// Drains the fault latch: the worst fault injected since the last
+    /// call ([`FaultKind::Death`] dominates), or `None` on a clean run.
+    /// The execution layer calls this once per solve to decide whether
+    /// the result is servable; faults are *latched*, never thrown, so a
+    /// corrupted solve completes and is then classified.
+    pub fn take_fault(&self) -> Option<DeviceFault> {
+        self.faults.as_ref().and_then(|f| f.take())
+    }
+
+    /// Every fault injected on this device so far, in injection order —
+    /// the schedule the determinism suite pins across thread counts.
+    /// Unlike [`take_fault`](Self::take_fault) this never drains.
+    pub fn fault_history(&self) -> Vec<FaultRecord> {
+        self.faults
+            .as_ref()
+            .map(|f| f.history())
+            .unwrap_or_default()
+    }
+
+    /// Whether the injected [`FaultKind::Death`] has fired (and the
+    /// device has not been [`revived`](Self::revive_faults)).
+    pub fn is_fault_dead(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_dead())
+    }
+
+    /// Clears an injected device death and cancels further scheduled
+    /// death — the simulated power-cycle behind
+    /// `SvdFleet::revive_device`. Transient fault rates stay active.
+    pub fn revive_faults(&self) {
+        if let Some(f) = &self.faults {
+            f.revive();
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! specs marked "N.A.") use public datasheet values or conservative
 //! estimates, noted inline.
 
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use unisvd_scalar::PrecisionKind;
 
@@ -95,6 +96,14 @@ pub struct HardwareDescriptor {
     /// Host CPU double-precision throughput, FLOP/s (for the hybrid
     /// baselines that run panel/solver stages on the CPU).
     pub cpu_flops: f64,
+    /// Optional seeded fault schedule ([`FaultPlan`]): every
+    /// [`Device`](crate::Device) built from this descriptor injects the
+    /// plan's faults deterministically. `None` (the default for all
+    /// shipped platforms) means a fault-free device. Excluded from
+    /// descriptor *identity* ([`is_same_device`](Self::is_same_device))
+    /// but part of the derived `PartialEq`, like every other
+    /// configuration field.
+    pub fault: Option<FaultPlan>,
 }
 
 impl HardwareDescriptor {
@@ -143,6 +152,15 @@ impl HardwareDescriptor {
     /// key on this.
     pub fn is_same_device(&self, other: &HardwareDescriptor) -> bool {
         self.name == other.name
+    }
+
+    /// Returns this descriptor with a [`FaultPlan`] attached: every
+    /// device and ledger built from the result injects the plan's
+    /// faults deterministically. Chaos tests and benches use this; the
+    /// shipped platform constructors never set a plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Largest power-of-two square matrix of precision `p` that fits,
@@ -199,6 +217,7 @@ pub fn h100() -> HardwareDescriptor {
         launch_overhead_s: 4.0e-6,
         pcie_bandwidth: 55e9, // NVLink-attached host bridge
         cpu_flops: 1.8e12,    // Xeon Platinum 8462Y (2.8 GHz, 32c, AVX-512)
+        fault: None,
     }
 }
 
@@ -223,6 +242,7 @@ pub fn a100() -> HardwareDescriptor {
         launch_overhead_s: 4.5e-6,
         pcie_bandwidth: 25e9,
         cpu_flops: 1.0e12, // Xeon Gold 6330
+        fault: None,
     }
 }
 
@@ -248,6 +268,7 @@ pub fn rtx4060() -> HardwareDescriptor {
         launch_overhead_s: 5.0e-6,
         pcie_bandwidth: 16e9,
         cpu_flops: 0.6e12, // Core i7-14650HX
+        fault: None,
     }
 }
 
@@ -274,6 +295,7 @@ pub fn mi250() -> HardwareDescriptor {
         launch_overhead_s: 9.0e-6, // HIP launch latency is ~2x CUDA
         pcie_bandwidth: 36e9,      // Infinity-Fabric-attached EPYC
         cpu_flops: 1.0e12,         // Trento EPYC 7A53
+        fault: None,
     }
 }
 
@@ -300,6 +322,7 @@ pub fn m1_pro() -> HardwareDescriptor {
         launch_overhead_s: 8.0e-6,
         pcie_bandwidth: 60e9, // unified memory: cheap "transfers"
         cpu_flops: 0.4e12,
+        fault: None,
     }
 }
 
@@ -324,6 +347,7 @@ pub fn pvc() -> HardwareDescriptor {
         launch_overhead_s: 14.0e-6, // SYCL queue submission latency
         pcie_bandwidth: 32e9,
         cpu_flops: 1.2e12, // Xeon Max 9470C
+        fault: None,
     }
 }
 

@@ -23,6 +23,7 @@ pub mod arena;
 pub mod buffer;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod hw;
 pub mod mem;
 pub mod staging;
@@ -33,6 +34,7 @@ pub use arena::WorkgroupArena;
 pub use buffer::GlobalBuffer;
 pub use cost::{cost_of_launch, ExecGeometry, KernelClass, LaunchCost, LaunchSpec};
 pub use device::{Device, ExecMode};
+pub use fault::{DeviceFault, FaultChannel, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use hw::{BackendKind, Fp16Mode, HardwareDescriptor, UnsupportedPrecision};
 pub use mem::{MemoryLedger, Reservation};
 pub use staging::{StagingArena, StagingTile};

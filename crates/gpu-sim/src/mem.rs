@@ -7,6 +7,7 @@
 //! shared counter: a lock-free reserve/release gauge against a fixed
 //! byte budget, safe to consult from any thread.
 
+use crate::fault::FaultInjector;
 use crate::hw::HardwareDescriptor;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -29,6 +30,9 @@ impl HardwareDescriptor {
 pub struct MemoryLedger {
     budget: u64,
     used: AtomicU64,
+    /// Optional seeded fault hook: when set, reservation attempts can
+    /// transiently fail (nothing charged) per the injector's schedule.
+    faults: Option<FaultInjector>,
 }
 
 impl MemoryLedger {
@@ -37,13 +41,40 @@ impl MemoryLedger {
         MemoryLedger {
             budget,
             used: AtomicU64::new(0),
+            faults: None,
         }
     }
 
     /// A ledger with the device's full budget
-    /// ([`HardwareDescriptor::budget_bytes`]).
+    /// ([`HardwareDescriptor::budget_bytes`]), injecting the
+    /// descriptor's [`FaultPlan`](crate::FaultPlan) (if any) into
+    /// reservation attempts.
     pub fn for_device(hw: &HardwareDescriptor) -> Self {
-        Self::new(hw.budget_bytes())
+        let ledger = Self::new(hw.budget_bytes());
+        match hw.fault.clone().filter(|p| p.is_active()) {
+            Some(p) => ledger.with_fault_injector(FaultInjector::new(p, hw.name)),
+            None => ledger,
+        }
+    }
+
+    /// Attaches a fault injector: every [`try_reserve`](Self::try_reserve)
+    /// first consults the injector's allocation channel and is refused —
+    /// charging nothing — when the schedule fires. A refused reservation
+    /// is indistinguishable from an out-of-budget one to the caller,
+    /// which is the point: the caller's recovery path (drop the guard,
+    /// retry, shed) must balance either way.
+    pub fn with_fault_injector(mut self, inj: FaultInjector) -> Self {
+        self.faults = Some(inj);
+        self
+    }
+
+    /// Clears the attached injector's death latch (if any) — the ledger
+    /// half of a device revival. Transient alloc-failure rates stay
+    /// active; without an injector this is a no-op.
+    pub fn revive_faults(&self) {
+        if let Some(f) = &self.faults {
+            f.revive();
+        }
     }
 
     /// The fixed budget, bytes.
@@ -73,7 +104,14 @@ impl MemoryLedger {
     }
 
     /// Attempts to reserve `bytes`; on `false` nothing was charged.
+    /// With a fault injector attached, a reservation can also fail
+    /// transiently while well within budget (still charging nothing).
     pub fn try_reserve(&self, bytes: u64) -> bool {
+        if let Some(f) = &self.faults {
+            if f.on_alloc() {
+                return false;
+            }
+        }
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
             let next = match cur.checked_add(bytes) {

@@ -43,6 +43,138 @@ use unisvd_scalar::{PrecisionKind, Scalar, F16};
 /// is a cache hit on the primary — the hotness signal).
 const DEFAULT_REPLICATE_AFTER: u64 = 8;
 
+/// Consecutive retry-exhausted device-fault solves that trip a
+/// backend's circuit breaker open.
+const BREAKER_TRIP: u64 = 3;
+
+/// Placement attempts an open breaker refuses before letting one probe
+/// request through (half-open).
+const BREAKER_PROBE_AFTER: u64 = 8;
+
+/// A backend's circuit-breaker position, surfaced in [`DeviceStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Breaker closed: the backend serves normally.
+    Healthy,
+    /// Breaker half-open: probe traffic is testing whether the backend
+    /// recovered; the verdict (fault streak moved or cleared) decides
+    /// between re-opening and closing.
+    Probing,
+    /// Breaker open: consecutive device faults exhausted the retry
+    /// policy three times in a row; the router skips this backend
+    /// until a probe succeeds or
+    /// [`revive_device`](SvdFleet::revive_device) resets it.
+    Tripped,
+}
+
+/// Per-backend circuit breaker: closed → open on a fault streak,
+/// open → half-open after refusing enough placements, half-open →
+/// closed/open on the probe's verdict. Guarded by one tiny mutex —
+/// admission decisions are a handful of integer comparisons.
+enum BreakerState {
+    Closed,
+    Open { skipped: u64 },
+    HalfOpen { streak_at_probe: u64 },
+}
+
+struct Breaker(Mutex<BreakerState>);
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker(Mutex::new(BreakerState::Closed))
+    }
+
+    /// One placement attempt against the backend whose fault streak is
+    /// `streak`; `true` admits the request. Drives the full lifecycle:
+    /// a closed breaker trips at [`BREAKER_TRIP`], an open one counts
+    /// refusals until [`BREAKER_PROBE_AFTER`] then goes half-open, and a
+    /// half-open one reads the streak as the probe's verdict — cleared
+    /// closes it, grown re-opens it, unchanged admits another probe.
+    fn admit(&self, streak: u64) -> bool {
+        let mut st = self.0.lock();
+        match *st {
+            BreakerState::Closed => {
+                if streak >= BREAKER_TRIP {
+                    *st = BreakerState::Open { skipped: 0 };
+                    false
+                } else {
+                    true
+                }
+            }
+            BreakerState::Open { ref mut skipped } => {
+                *skipped += 1;
+                if *skipped >= BREAKER_PROBE_AFTER {
+                    *st = BreakerState::HalfOpen {
+                        streak_at_probe: streak,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen { streak_at_probe } => {
+                if streak == 0 {
+                    *st = BreakerState::Closed;
+                    true
+                } else if streak > streak_at_probe {
+                    *st = BreakerState::Open { skipped: 0 };
+                    false
+                } else {
+                    // The probe's verdict isn't in yet; admit another
+                    // probe rather than wedging half-open forever.
+                    true
+                }
+            }
+        }
+    }
+
+    fn health(&self) -> DeviceHealth {
+        match *self.0.lock() {
+            BreakerState::Closed => DeviceHealth::Healthy,
+            BreakerState::Open { .. } => DeviceHealth::Tripped,
+            BreakerState::HalfOpen { .. } => DeviceHealth::Probing,
+        }
+    }
+
+    fn reset(&self) {
+        *self.0.lock() = BreakerState::Closed;
+    }
+}
+
+/// Why [`FleetBuilder::try_build`] refused a configuration.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetBuildError {
+    /// No devices were added; a fleet cannot route to nothing.
+    NoDevices,
+    /// More than 64 devices; the router's exclusion set is a 64-bit
+    /// mask.
+    TooManyDevices {
+        /// How many devices were added.
+        count: usize,
+    },
+    /// `replicate_after(0)` — a nonsensical hotness threshold (every
+    /// signature would replicate before serving anything). Use a large
+    /// threshold to effectively disable replication.
+    ZeroReplicateAfter,
+}
+
+impl std::fmt::Display for FleetBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetBuildError::NoDevices => write!(f, "a fleet needs at least one device"),
+            FleetBuildError::TooManyDevices { count } => {
+                write!(f, "a fleet holds at most 64 devices ({count} added)")
+            }
+            FleetBuildError::ZeroReplicateAfter => {
+                write!(f, "replicate_after(0) is not a valid hotness threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetBuildError {}
+
 /// Accumulates a fleet's devices and shared service knobs, then
 /// [`build`](Self::build)s it. Obtained from [`SvdFleet::builder`].
 ///
@@ -75,7 +207,10 @@ impl FleetBuilder {
     }
 
     /// Requests a route key must serve before its plan is replicated to
-    /// a second device (`0` disables replication). Default 8.
+    /// a second device. Default 8. `0` is rejected at build time
+    /// ([`FleetBuildError::ZeroReplicateAfter`]); to effectively disable
+    /// replication, pass a threshold larger than any realistic request
+    /// count (e.g. `u64::MAX`).
     pub fn replicate_after(mut self, served: u64) -> Self {
         self.replicate_after = served;
         self
@@ -135,18 +270,43 @@ impl FleetBuilder {
         self
     }
 
-    /// The configured fleet.
-    ///
-    /// # Panics
-    /// With no devices, or with more than 64 (the router's exclusion
-    /// set is a 64-bit mask).
-    pub fn build(self) -> SvdFleet {
-        assert!(
-            !self.devices.is_empty(),
-            "a fleet needs at least one device"
-        );
-        assert!(self.devices.len() <= 64, "a fleet holds at most 64 devices");
-        SvdFleet {
+    /// Bounded transient-fault retries applied to every backend (see
+    /// [`ServiceBuilder::retry`](crate::ServiceBuilder::retry)).
+    pub fn retry(mut self, retries: usize) -> Self {
+        self.knobs.retries = retries;
+        self
+    }
+
+    /// Retry backoff applied to every backend (see
+    /// [`ServiceBuilder::retry_backoff`](crate::ServiceBuilder::retry_backoff)).
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.knobs.retry_backoff = backoff;
+        self
+    }
+
+    /// Output verification applied to every backend (see
+    /// [`ServiceBuilder::verify_outputs`](crate::ServiceBuilder::verify_outputs)).
+    pub fn verify_outputs(mut self, enabled: bool) -> Self {
+        self.knobs.verify_outputs = enabled;
+        self
+    }
+
+    /// The configured fleet, or a typed refusal for a configuration
+    /// that cannot serve: no devices, more than 64, or a zero
+    /// replication threshold.
+    pub fn try_build(self) -> Result<SvdFleet, FleetBuildError> {
+        if self.devices.is_empty() {
+            return Err(FleetBuildError::NoDevices);
+        }
+        if self.devices.len() > 64 {
+            return Err(FleetBuildError::TooManyDevices {
+                count: self.devices.len(),
+            });
+        }
+        if self.replicate_after == 0 {
+            return Err(FleetBuildError::ZeroReplicateAfter);
+        }
+        Ok(SvdFleet {
             backends: self
                 .devices
                 .iter()
@@ -157,8 +317,20 @@ impl FleetBuilder {
                 .iter()
                 .map(|_| AtomicBool::new(false))
                 .collect(),
+            breakers: self.devices.iter().map(|_| Breaker::new()).collect(),
             router: Mutex::new(PlacementMap::new()),
             replicate_after: self.replicate_after,
+        })
+    }
+
+    /// The configured fleet.
+    ///
+    /// # Panics
+    /// On any configuration [`try_build`](Self::try_build) refuses.
+    pub fn build(self) -> SvdFleet {
+        match self.try_build() {
+            Ok(fleet) => fleet,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -181,6 +353,11 @@ pub struct DeviceStats {
     /// Whether the backend is still serving (not
     /// [`fail_device`](SvdFleet::fail_device)d).
     pub alive: bool,
+    /// The backend's circuit-breaker position (orthogonal to `alive`:
+    /// a dead backend keeps whatever health it tripped into, and a
+    /// live one can be [`Tripped`](DeviceHealth::Tripped) by faults
+    /// without being failed).
+    pub health: DeviceHealth,
     /// The backend's own snapshot.
     pub stats: ServiceStats,
 }
@@ -229,6 +406,10 @@ pub struct SvdFleet {
     backends: Vec<SvdService>,
     /// `dead[i]` marks backend `i` lost; the router skips it.
     dead: Vec<AtomicBool>,
+    /// `breakers[i]` guards backend `i` against fault streaks; an open
+    /// breaker makes the router skip it like a dead device, but with a
+    /// self-healing path (half-open probes).
+    breakers: Vec<Breaker>,
     /// Route key → placement, amortized across same-signature requests.
     router: Mutex<PlacementMap>,
     replicate_after: u64,
@@ -270,6 +451,12 @@ impl SvdFleet {
         !self.dead[index].load(Ordering::SeqCst)
     }
 
+    /// Backend `index`'s circuit-breaker position (also in
+    /// [`DeviceStats::health`]).
+    pub fn device_health(&self, index: usize) -> DeviceHealth {
+        self.breakers[index].health()
+    }
+
     /// Solves one request on whichever backend the router places it,
     /// blocking the caller — the fleet-oblivious mirror of
     /// [`SvdService::solve`].
@@ -309,12 +496,44 @@ impl SvdFleet {
     /// support/capacity probe; otherwise the last backend's admission
     /// error once all eligible backends refused.
     pub fn submit<T: Scalar>(&self, a: Matrix<T>, cfg: &SvdConfig) -> Result<Ticket, ServiceError> {
+        self.submit_inner(a, cfg, None)
+    }
+
+    /// [`submit`](Self::submit) with a submit-time deadline, mirroring
+    /// [`SvdService::submit_with_deadline`]: a request still queued on
+    /// its routed backend when `deadline` elapses resolves with
+    /// [`SvdError::Timeout`] instead of executing.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit), plus [`ServiceError::Timeout`] for a
+    /// zero `deadline`.
+    pub fn submit_with_deadline<T: Scalar>(
+        &self,
+        a: Matrix<T>,
+        cfg: &SvdConfig,
+        deadline: Duration,
+    ) -> Result<Ticket, ServiceError> {
+        if deadline.is_zero() {
+            return Err(ServiceError::Timeout {
+                waited: Duration::ZERO,
+            });
+        }
+        self.submit_inner(a, cfg, Some(std::time::Instant::now() + deadline))
+    }
+
+    fn submit_inner<T: Scalar>(
+        &self,
+        a: Matrix<T>,
+        cfg: &SvdConfig,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Ticket, ServiceError> {
         let (rows, cols) = (a.rows(), a.cols());
         let (ticket, resolver) = ticket_pair();
         let mut p = Pending {
             sig: self.backends[0].signature::<T>(rows, cols, cfg),
             mat: Box::new(a),
             resolver,
+            deadline,
         };
         let mut exclude = 0u64;
         let mut last: Option<ServiceError> = None;
@@ -356,6 +575,7 @@ impl SvdFleet {
             .map(|(i, svc)| DeviceStats {
                 device: svc.hw().name,
                 alive: self.is_alive(i),
+                health: self.breakers[i].health(),
                 stats: svc.stats(),
             })
             .collect();
@@ -428,6 +648,28 @@ impl SvdFleet {
             }
         }
         report
+    }
+
+    /// Reverses [`fail_device`](Self::fail_device): marks backend
+    /// `index` alive again — its queue readmits, its ledger injector's
+    /// death latch clears, its circuit breaker and fault streak reset —
+    /// so the router may place fresh signatures on it immediately. The
+    /// revived backend starts *cold*: its resident plans migrated to
+    /// survivors at failure and stay there; existing placements are
+    /// untouched (traffic returns as new signatures arrive or hot ones
+    /// replicate). Idempotent: reviving a live backend is a no-op.
+    /// Returns whether the backend was actually dead.
+    ///
+    /// # Panics
+    /// If `index` is out of range.
+    pub fn revive_device(&self, index: usize) -> bool {
+        assert!(index < self.backends.len(), "no backend {index}");
+        if !self.dead[index].swap(false, Ordering::SeqCst) {
+            return false;
+        }
+        self.backends[index].revive();
+        self.breakers[index].reset();
+        true
     }
 
     /// Routes `sig` afresh and prewarms its plan on the chosen backend.
@@ -513,7 +755,14 @@ impl SvdFleet {
             config: *cfg,
             trace_only,
         };
-        let usable = |i: usize| !self.dead[i].load(Ordering::SeqCst) && exclude & (1 << i) == 0;
+        // Dead, already-tried, and breaker-refused backends are equally
+        // unusable; the breaker's `admit` doubles as the state pump
+        // (trips on a fault streak, goes half-open after enough skips).
+        let usable = |i: usize| {
+            !self.dead[i].load(Ordering::SeqCst)
+                && exclude & (1 << i) == 0
+                && self.breakers[i].admit(self.backends[i].fault_streak())
+        };
         let mut warm_replica: Option<usize> = None;
         let decision = {
             let mut map = self.router.lock();
@@ -602,7 +851,10 @@ impl SvdFleet {
     ) -> Option<usize> {
         let mut candidates = Vec::with_capacity(self.backends.len());
         for (i, svc) in self.backends.iter().enumerate() {
-            if self.dead[i].load(Ordering::SeqCst) || exclude & (1 << i) != 0 {
+            if self.dead[i].load(Ordering::SeqCst)
+                || exclude & (1 << i) != 0
+                || !self.breakers[i].admit(svc.fault_streak())
+            {
                 continue;
             }
             let mut probe = Svd::on(svc.hw()).precision::<T>().config(*cfg);
@@ -660,7 +912,127 @@ impl std::fmt::Debug for SvdFleet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unisvd_gpu::hw;
+    use unisvd_gpu::{hw, FaultPlan};
+
+    #[test]
+    fn try_build_rejects_degenerate_configurations_typed() {
+        assert_eq!(
+            SvdFleet::builder().try_build().map(|_| ()),
+            Err(FleetBuildError::NoDevices)
+        );
+        assert_eq!(
+            SvdFleet::builder()
+                .device(hw::h100())
+                .replicate_after(0)
+                .try_build()
+                .map(|_| ()),
+            Err(FleetBuildError::ZeroReplicateAfter)
+        );
+        let mut b = SvdFleet::builder();
+        for _ in 0..65 {
+            b = b.device(hw::h100());
+        }
+        assert_eq!(
+            b.try_build().map(|_| ()),
+            Err(FleetBuildError::TooManyDevices { count: 65 })
+        );
+        // build() panics with the same message, not a bare assert.
+        let r = std::panic::catch_unwind(|| SvdFleet::builder().build());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn breaker_trips_on_fault_streak_and_probe_heals() {
+        // Backend 0 corrupts every upload and retries are off, so every
+        // solve placed on it is a device fault; backend 1 is clean.
+        let chaotic = hw::h100().with_faults(FaultPlan::seeded(7).corrupt_rate(1.0));
+        let fleet = SvdFleet::builder()
+            .device(chaotic)
+            .device(hw::a100())
+            .build();
+        let cfg = SvdConfig::default();
+        let a = Matrix::<f32>::identity(16);
+        // Distinct shapes keep placements fresh so each request actually
+        // consults the breaker rather than riding one placement.
+        let mut faults = 0;
+        for n in 0..64usize {
+            let m = Matrix::<f32>::identity(8 + n);
+            if matches!(fleet.solve(&m, &cfg), Err(SvdError::DeviceFault(_))) {
+                faults += 1;
+            }
+        }
+        assert!(faults >= BREAKER_TRIP as usize, "chaotic backend faulted");
+        assert!(
+            fleet.backend(0).fault_streak() >= BREAKER_TRIP || faults > 0,
+            "streak accumulated"
+        );
+        // After the streak trips the breaker, traffic flows to the
+        // healthy backend — the *same* shape that faulted now succeeds.
+        let healthy_hits = fleet.backend(1).stats().cache.misses;
+        assert!(
+            healthy_hits > 0,
+            "placements diverted to the healthy backend after the trip"
+        );
+        fleet
+            .solve(&a, &cfg)
+            .expect("served by the healthy backend");
+        let health = fleet.device_health(0);
+        assert!(
+            matches!(health, DeviceHealth::Tripped | DeviceHealth::Probing),
+            "breaker no longer closed: {health:?}"
+        );
+        assert_eq!(fleet.device_health(1), DeviceHealth::Healthy);
+        assert_eq!(fleet.stats().per_device[1].health, DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn revive_device_restores_service_after_kill() {
+        let fleet = SvdFleet::new(&[hw::h100(), hw::a100()]);
+        let cfg = SvdConfig::default();
+        let a = Matrix::<f32>::identity(24);
+        fleet.solve(&a, &cfg).expect("warm-up");
+        fleet.fail_device(0);
+        assert!(!fleet.is_alive(0));
+        assert!(
+            !fleet.revive_device(1),
+            "reviving a live backend is a no-op"
+        );
+        assert!(fleet.revive_device(0), "dead backend revives");
+        assert!(fleet.is_alive(0));
+        assert_eq!(fleet.device_health(0), DeviceHealth::Healthy);
+        // The revived backend serves again: submit lands somewhere and
+        // resolves; direct backend access also works.
+        let t = fleet.submit(a.clone(), &cfg).expect("admitted");
+        t.wait().expect("resolved");
+        fleet
+            .backend(0)
+            .solve(&a, &cfg)
+            .expect("revived backend solves directly");
+        assert!(fleet.backend(0).ledger_in_balance());
+        // Idempotent in the other direction too.
+        assert!(!fleet.revive_device(0));
+    }
+
+    #[test]
+    fn double_kill_does_not_double_discard_ledger_bytes() {
+        let fleet = SvdFleet::new(&[hw::h100(), hw::a100()]);
+        let cfg = SvdConfig::default();
+        let a = Matrix::<f32>::identity(32);
+        fleet.solve(&a, &cfg).expect("cold solve");
+        let served_by = (0..2)
+            .find(|&i| fleet.backend(i).stats().cache.resident_plans == 1)
+            .expect("someone cached the plan");
+        fleet.fail_device(served_by);
+        let used_after_first = fleet.backend(served_by).stats().cache.resident_bytes;
+        assert_eq!(used_after_first, 0, "first kill empties the ledger");
+        assert!(fleet.backend(served_by).ledger_in_balance());
+        // Second kill must be a pure no-op: no second discard, the
+        // ledger stays balanced at zero rather than underflowing.
+        assert_eq!(fleet.fail_device(served_by), FailoverReport::default());
+        assert_eq!(fleet.backend(served_by).stats().cache.resident_bytes, 0);
+        assert!(fleet.backend(served_by).ledger_in_balance());
+        assert!(fleet.backend(1 - served_by).ledger_in_balance());
+    }
 
     #[test]
     fn unsupported_precision_routes_to_capable_device() {

@@ -69,7 +69,9 @@ mod router;
 mod service;
 mod ticket;
 
-pub use fleet::{DeviceStats, FailoverReport, FleetBuilder, FleetStats, SvdFleet};
+pub use fleet::{
+    DeviceHealth, DeviceStats, FailoverReport, FleetBuildError, FleetBuilder, FleetStats, SvdFleet,
+};
 #[allow(deprecated)]
 pub use service::ServiceConfig;
 pub use service::{CacheStats, QueueStats, ServiceBuilder, ServiceError, ServiceStats, SvdService};

@@ -30,6 +30,10 @@ pub(crate) struct Pending {
     pub mat: Box<dyn Any + Send>,
     /// Resolves the submitter's ticket.
     pub resolver: TicketResolver,
+    /// Submit-time deadline: the drainer resolves the ticket with
+    /// `SvdError::Timeout` instead of executing once this instant has
+    /// passed. `None` (the default) never expires.
+    pub deadline: Option<Instant>,
 }
 
 struct Inner {
@@ -129,6 +133,16 @@ impl SubmitQueue {
         self.lock().entries.drain(..).collect()
     }
 
+    /// Clears the failed flag set by [`fail`](Self::fail): pushes are
+    /// admitted again and `next_batch` blocks for work as on a fresh
+    /// queue. The service side must restart a drainer (the old one
+    /// exited on failure) — `SvdService` does this lazily on the next
+    /// submit.
+    pub fn revive(&self) {
+        self.lock().failed = false;
+        self.arrived.notify_all();
+    }
+
     /// Blocks until at least one entry is queued, then fills `batch`
     /// with up to `max_coalesce` entries carrying the head's signature,
     /// in arrival order — holding the batch open up to `window` for
@@ -221,6 +235,7 @@ mod tests {
             sig: sig(rows),
             mat: Box::new(()),
             resolver,
+            deadline: None,
         }
     }
 
@@ -293,6 +308,18 @@ mod tests {
         let orphans = q.drain_remaining();
         assert_eq!(orphans.len(), 2, "queued entries survive for re-routing");
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn revive_clears_failure_and_readmits() {
+        let q = SubmitQueue::new();
+        q.fail();
+        assert!(q.try_push(pending(8), 100).is_err());
+        q.revive();
+        assert!(q.try_push(pending(8), 100).is_ok(), "admission restored");
+        let mut batch = Vec::new();
+        assert!(q.next_batch(Duration::ZERO, 64, &mut batch));
+        assert_eq!(batch.len(), 1);
     }
 
     #[test]

@@ -6,9 +6,9 @@ use crate::ticket::{ticket_pair, Ticket};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use unisvd_core::{PlanError, PlanSignature, Svd, SvdConfig, SvdError, SvdOutput, SvdPlan};
-use unisvd_gpu::{HardwareDescriptor, MemoryLedger};
+use unisvd_gpu::{DeviceFault, FaultInjector, FaultKind, HardwareDescriptor, MemoryLedger};
 use unisvd_matrix::Matrix;
 use unisvd_oocore::{OocMode, OutOfCore};
 use unisvd_scalar::{PrecisionKind, Scalar, F16};
@@ -35,6 +35,13 @@ pub(crate) struct Knobs {
     /// Route oocore-eligible over-capacity rejections through the
     /// out-of-core streaming path instead of failing them.
     pub oocore_fallback: bool,
+    /// Bounded retries for transient device faults (`0` disables).
+    pub retries: usize,
+    /// Base sleep before retry attempt k (doubled each attempt).
+    pub retry_backoff: Duration,
+    /// Run `SvdOutput::verify` on every solve; a failing check is
+    /// treated as transient corruption (retried, then surfaced).
+    pub verify_outputs: bool,
 }
 
 impl Default for Knobs {
@@ -48,6 +55,9 @@ impl Default for Knobs {
             max_coalesce: 64,
             shed_headroom_bytes: 0,
             oocore_fallback: false,
+            retries: 0,
+            retry_backoff: Duration::ZERO,
+            verify_outputs: false,
         }
     }
 }
@@ -133,9 +143,13 @@ impl From<ServiceConfig> for Knobs {
             coalesce_window: cfg.coalesce_window,
             max_coalesce: cfg.max_coalesce,
             shed_headroom_bytes: cfg.shed_headroom_bytes,
-            // The deprecated config predates the out-of-core subsystem;
-            // the fallback stays opt-in through the builder only.
+            // The deprecated config predates the out-of-core subsystem
+            // and the self-healing knobs; both stay opt-in through the
+            // builder only.
             oocore_fallback: false,
+            retries: 0,
+            retry_backoff: Duration::ZERO,
+            verify_outputs: false,
         }
     }
 }
@@ -243,6 +257,41 @@ impl ServiceBuilder {
         self
     }
 
+    /// Bounded retries for *transient* faults
+    /// ([`SvdError::is_transient`]): a solve that fails with a
+    /// recoverable device fault is re-attempted up to `retries` more
+    /// times, each attempt checking its plan out of the cache afresh.
+    /// Terminal faults (device death) and non-fault errors are never
+    /// retried. `0` (the default) disables retry — and keeps the warm
+    /// fault-free path allocation-free and byte-identical to previous
+    /// releases.
+    pub fn retry(mut self, retries: usize) -> Self {
+        self.knobs.retries = retries;
+        self
+    }
+
+    /// Base backoff slept before retry attempt `k` (doubled each
+    /// attempt: `backoff`, `2*backoff`, `4*backoff`, ...).
+    /// `Duration::ZERO` (the default) retries immediately, which is the
+    /// right choice for the simulated runtime where faults are
+    /// schedule-driven, not congestion-driven.
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.knobs.retry_backoff = backoff;
+        self
+    }
+
+    /// Run [`SvdOutput::verify`] on every solve result. A failing check
+    /// (non-finite or disordered values, denormalized vectors) is
+    /// treated as transient corruption — retried under the
+    /// [`retry`](Self::retry) policy, then surfaced as
+    /// [`SvdError::DeviceFault`]. Off by default: the check costs a few
+    /// passes over the output and the fault-free runtime cannot produce
+    /// a corrupt result.
+    pub fn verify_outputs(mut self, enabled: bool) -> Self {
+        self.knobs.verify_outputs = enabled;
+        self
+    }
+
     /// The configured service.
     pub fn build(self) -> SvdService {
         SvdService::from_knobs(&self.hw, self.knobs)
@@ -284,6 +333,14 @@ pub enum ServiceError {
         /// first backend; the rejection applies to every backend).
         signature: PlanSignature,
     },
+    /// The submission carried a deadline that had already expired at
+    /// admission time (a zero or elapsed budget): refusing up front is
+    /// strictly better than queueing work whose answer nobody will wait
+    /// for.
+    Timeout {
+        /// The deadline budget the submission arrived with.
+        waited: Duration,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -301,6 +358,9 @@ impl std::fmt::Display for ServiceError {
                 "no fleet device supports {:?} {}x{} (trace_only: {})",
                 signature.precision, signature.rows, signature.cols, signature.trace_only
             ),
+            ServiceError::Timeout { waited } => {
+                write!(f, "deadline expired at admission (budget {waited:.1?})")
+            }
         }
     }
 }
@@ -308,12 +368,17 @@ impl std::fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {}
 
 impl From<ServiceError> for SvdError {
-    /// Folds an admission rejection into the plan API's error type (as
-    /// [`SvdError::Rejected`]) so a caller holding results from both
-    /// layers can `?` through one error type.
+    /// Folds an admission rejection into the plan API's error type so a
+    /// caller holding results from both layers can `?` through one error
+    /// type: deadline refusals map onto [`SvdError::Timeout`] (the same
+    /// variant [`Ticket::wait_timeout`](crate::Ticket::wait_timeout)
+    /// produces), everything else onto [`SvdError::Rejected`].
     fn from(e: ServiceError) -> SvdError {
-        SvdError::Rejected {
-            reason: e.to_string(),
+        match e {
+            ServiceError::Timeout { waited } => SvdError::Timeout { waited },
+            other => SvdError::Rejected {
+                reason: other.to_string(),
+            },
         }
     }
 }
@@ -450,6 +515,12 @@ pub(crate) struct Inner {
     /// at admission (async) or entry (blocking), decremented at ticket
     /// resolution or return.
     in_flight: AtomicU64,
+    /// Consecutive solves that ended in a device fault *after* the retry
+    /// policy was exhausted (reset to zero by any fault-free solve).
+    /// Fleet circuit breakers read this as the trip signal; non-fault
+    /// errors (shape, convergence, capacity) say nothing about device
+    /// health and leave it untouched.
+    fault_streak: AtomicU64,
 }
 
 /// Decrements the in-flight gauge by a fixed amount on drop, so every
@@ -540,14 +611,17 @@ impl SvdService {
 
     pub(crate) fn from_knobs(hw: &HardwareDescriptor, knobs: Knobs) -> Self {
         let budget = knobs.max_cache_bytes.unwrap_or_else(|| hw.budget_bytes());
+        // A faulted descriptor injects into the cache ledger too: plan
+        // publishes can transiently fail their reservation, exactly like
+        // a real allocator under pressure.
+        let mut ledger = MemoryLedger::new(budget);
+        if let Some(plan) = hw.fault.clone().filter(|p| p.is_active()) {
+            ledger = ledger.with_fault_injector(FaultInjector::new(plan, hw.name));
+        }
         SvdService {
             inner: Arc::new(Inner {
                 hw: hw.clone(),
-                cache: PlanCache::new(
-                    knobs.shards.max(1),
-                    knobs.plans_per_shard,
-                    MemoryLedger::new(budget),
-                ),
+                cache: PlanCache::new(knobs.shards.max(1), knobs.plans_per_shard, ledger),
                 knobs,
                 queue: SubmitQueue::new(),
                 failures: AtomicU64::new(0),
@@ -557,6 +631,7 @@ impl SvdService {
                 batches: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
+                fault_streak: AtomicU64::new(0),
             }),
             drainer: Mutex::new(None),
         }
@@ -647,6 +722,45 @@ impl SvdService {
             sig,
             mat: Box::new(a),
             resolver,
+            deadline: None,
+        };
+        match self.submit_pending(pending) {
+            Ok(()) => Ok(ticket),
+            Err((_, e)) => Err(e),
+        }
+    }
+
+    /// [`submit`](Self::submit) with a submit-time deadline: if the
+    /// request is still queued when `deadline` has elapsed, the drainer
+    /// resolves its ticket with [`SvdError::Timeout`] instead of
+    /// executing it — expired work never claims pool time. A request
+    /// whose batch has already *started* executing runs to completion
+    /// and delivers its result normally, even late: the deadline bounds
+    /// queue residence, and [`Ticket::wait_timeout`] bounds the caller's
+    /// wait.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit), plus [`ServiceError::Timeout`] for a
+    /// zero `deadline` (already expired at admission — nothing is
+    /// queued).
+    pub fn submit_with_deadline<T: Scalar>(
+        &self,
+        a: Matrix<T>,
+        cfg: &SvdConfig,
+        deadline: Duration,
+    ) -> Result<Ticket, ServiceError> {
+        if deadline.is_zero() {
+            return Err(ServiceError::Timeout {
+                waited: Duration::ZERO,
+            });
+        }
+        let sig = self.signature::<T>(a.rows(), a.cols(), cfg);
+        let (ticket, resolver) = ticket_pair();
+        let pending = Pending {
+            sig,
+            mat: Box::new(a),
+            resolver,
+            deadline: Some(Instant::now() + deadline),
         };
         match self.submit_pending(pending) {
             Ok(()) => Ok(ticket),
@@ -747,6 +861,23 @@ impl SvdService {
         let resident = self.inner.cache.resident_signatures();
         self.inner.cache.clear();
         (orphans, resident)
+    }
+
+    /// Reverses [`fail_for_reroute`](Self::fail_for_reroute): the queue
+    /// admits again and the fault streak resets. The drainer respawns
+    /// lazily on the next submission (the failed one exited). Fleet
+    /// revival plumbing
+    /// ([`SvdFleet::revive_device`](crate::SvdFleet::revive_device)).
+    pub(crate) fn revive(&self) {
+        self.inner.queue.revive();
+        self.inner.cache.revive_faults();
+        self.inner.fault_streak.store(0, Ordering::Relaxed);
+    }
+
+    /// Consecutive retry-exhausted device-fault solves (circuit-breaker
+    /// trip signal; see `Inner::fault_streak`).
+    pub(crate) fn fault_streak(&self) -> u64 {
+        self.inner.fault_streak.load(Ordering::Relaxed)
     }
 
     /// Prewarms the plan cache from a recorded signature trace: builds
@@ -959,7 +1090,11 @@ impl Inner {
         plan.execute_into(a, out)
     }
 
-    fn solve_into<T: Scalar>(
+    /// One solve attempt — no retry, no failure counting. Checks the
+    /// plan out (or builds it), executes, verifies when configured, and
+    /// publishes the plan back; the retry wrapper calls this once per
+    /// attempt so every attempt gets a fresh checkout.
+    fn solve_once<T: Scalar>(
         &self,
         a: &Matrix<T>,
         cfg: &SvdConfig,
@@ -969,23 +1104,74 @@ impl Inner {
         let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, cfg) {
             Ok(found) => found,
             Err(e) if self.oocore_absorbs(&e) => {
-                let res = self.oocore_solve_into(a, cfg, out);
-                if res.is_err() {
-                    self.record_failures(1);
-                }
-                return res;
+                return self.oocore_solve_into(a, cfg, out);
             }
-            Err(e) => {
-                self.record_failures(1);
-                return Err(e);
-            }
+            Err(e) => return Err(e),
         };
         let res = if warm {
             plan.execute_into(a, out)
         } else {
             plan.execute_cold_into(a, out)
         };
+        // The plan survives a solve-time fault (the *data path* was hit,
+        // not the resident factor layout), so it goes back either way.
         self.publish(sig, plan);
+        res.and_then(|()| self.verify_out(out))
+    }
+
+    /// [`SvdOutput::verify`] as a policy hook: when enabled, a failing
+    /// check becomes a *transient* corruption fault — retried like any
+    /// other transient, then surfaced as [`SvdError::DeviceFault`].
+    fn verify_out(&self, out: &SvdOutput) -> Result<(), SvdError> {
+        if self.knobs.verify_outputs && out.verify().is_err() {
+            return Err(SvdError::DeviceFault(DeviceFault {
+                device: self.hw.name,
+                kind: FaultKind::Corruption,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Sleeps the configured backoff before retry attempt `attempt`
+    /// (1-based), doubling per attempt. Zero backoff sleeps nothing.
+    fn backoff(&self, attempt: usize) {
+        let base = self.knobs.retry_backoff;
+        if !base.is_zero() {
+            std::thread::sleep(base * (1u32 << (attempt - 1).min(16)));
+        }
+    }
+
+    /// Feeds one final solve outcome into the fault streak (the fleet
+    /// circuit breaker's trip signal): device faults raise it, fault-free
+    /// solves clear it, other errors are neutral.
+    fn note_device_health(&self, res: &Result<(), SvdError>) {
+        match res {
+            Ok(()) => self.fault_streak.store(0, Ordering::Relaxed),
+            Err(SvdError::DeviceFault(_)) => {
+                self.fault_streak.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
+        }
+    }
+
+    fn solve_into<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+        cfg: &SvdConfig,
+        out: &mut SvdOutput,
+    ) -> Result<(), SvdError> {
+        let mut attempt = 0;
+        let res = loop {
+            let res = self.solve_once(a, cfg, out);
+            match &res {
+                Err(e) if e.is_transient() && attempt < self.knobs.retries => {
+                    attempt += 1;
+                    self.backoff(attempt);
+                }
+                _ => break res,
+            }
+        };
+        self.note_device_health(&res);
         if res.is_err() {
             self.record_failures(1);
         }
@@ -1114,6 +1300,29 @@ impl Inner {
         outs: &mut Vec<SvdOutput>,
         statuses: &mut Vec<Result<(), SvdError>>,
     ) {
+        // Expired submit-time deadlines resolve with the typed timeout
+        // *before* the batch claims any pool time — late answers nobody
+        // is waiting for must not slow down answers somebody is.
+        let now = Instant::now();
+        let mut expired = 0;
+        let mut i = 0;
+        while i < batch.len() {
+            match batch[i].deadline {
+                Some(d) if now >= d => {
+                    let p = batch.remove(i);
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    p.resolver.resolve(Err(SvdError::Timeout {
+                        waited: now.duration_since(d),
+                    }));
+                    expired += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.record_failures(expired);
+        if batch.is_empty() {
+            return;
+        }
         let n = batch.len() as u64;
         let sig = batch[0].sig;
         let (mut plan, warm) = match self.checkout_or_plan::<T>(&sig, &sig.config) {
@@ -1174,6 +1383,32 @@ impl Inner {
             plan.execute_batch_refs_into(&refs, &mut outs[1..], &mut statuses[1..]);
         }
         self.publish(sig, plan);
+        if self.knobs.verify_outputs {
+            for i in 0..n {
+                if statuses[i].is_ok() {
+                    statuses[i] = self.verify_out(&outs[i]);
+                }
+            }
+        }
+        // Bounded per-request retries for transient faults — each
+        // attempt re-checks the plan out of the cache (`solve_once`), so
+        // a retried request is indistinguishable from a fresh solve.
+        if self.knobs.retries > 0 {
+            for i in 0..n {
+                let mut attempt = 0;
+                while matches!(&statuses[i], Err(e) if e.is_transient())
+                    && attempt < self.knobs.retries
+                {
+                    attempt += 1;
+                    self.backoff(attempt);
+                    statuses[i] =
+                        self.solve_once(matrix_of::<T>(&batch[i]), &sig.config, &mut outs[i]);
+                }
+            }
+        }
+        for s in statuses.iter() {
+            self.note_device_health(s);
+        }
         self.record_failures(statuses.iter().filter(|s| s.is_err()).count());
         // Same ordering rule as the plan-failure path above: the gauge
         // drops before any waiter can return from `Ticket::wait`.

@@ -10,6 +10,7 @@
 //! blocked forever.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use unisvd_core::{SvdError, SvdOutput};
 
 /// The one-shot slot a ticket and its resolver share.
@@ -66,6 +67,48 @@ impl Ticket {
                 SlotState::Pending => {
                     *st = SlotState::Pending;
                     st = self.slot.done.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// [`wait`](Ticket::wait) with a deadline: blocks at most `timeout`
+    /// and returns [`SvdError::Timeout`] if the result has not arrived
+    /// by then.
+    ///
+    /// Giving up is clean by construction: the ticket (and its half of
+    /// the slot) is dropped, and when the drainer later resolves the
+    /// request, the resolver's write into the now-waiterless slot is a
+    /// silent no-op — never a panic, never a leak. The service still
+    /// executes the request (its in-flight accounting completes
+    /// normally); only the *caller* stops waiting.
+    ///
+    /// # Panics
+    /// As [`wait`](Ticket::wait): if the drainer died before resolving.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<SvdOutput, SvdError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.slot.lock();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Abandoned) {
+                SlotState::Done(r) => return r,
+                SlotState::Abandoned => {
+                    panic!("ticket abandoned: the service drainer died before resolving it")
+                }
+                SlotState::Pending => {
+                    *st = SlotState::Pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SvdError::Timeout { waited: timeout });
+                    }
+                    let (guard, result) = self
+                        .slot
+                        .done
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                    if result.timed_out() && matches!(*st, SlotState::Pending) {
+                        return Err(SvdError::Timeout { waited: timeout });
+                    }
                 }
             }
         }
@@ -155,6 +198,25 @@ mod tests {
             got: (2, 2),
         }));
         assert!(waiter.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_late_resolve_is_silent() {
+        let (ticket, resolver) = ticket_pair();
+        let r = ticket.wait_timeout(Duration::from_millis(10));
+        assert!(matches!(r, Err(SvdError::Timeout { .. })));
+        // The waiter gave up and its slot half is gone; the drainer's
+        // eventual resolve must be a silent no-op, not a panic.
+        resolver.resolve(Ok(SvdOutput::empty()));
+    }
+
+    #[test]
+    fn wait_timeout_delivers_a_result_that_arrives_in_time() {
+        let (ticket, resolver) = ticket_pair();
+        let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(5));
+        resolver.resolve(Ok(SvdOutput::empty()));
+        assert!(waiter.join().unwrap().is_ok(), "no spurious timeout");
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Chaos engineering on a simulated GPU: a seeded fault schedule
+//! (transfer corruption, kernel stalls, transient allocation failures,
+//! device death) injected into the serving stack — and the self-healing
+//! machinery that absorbs it: bounded retries, output verification,
+//! per-ticket deadlines, circuit breakers, and device revival.
+//!
+//! ```text
+//! cargo run --release --example svd_chaos
+//! ```
+//!
+//! Every fault here is **deterministic**: injection decisions hash
+//! `(seed, channel, event counter)`, so the same `FaultPlan` produces
+//! the bit-identical schedule at any thread count — which is what lets
+//! the chaos bench (`fig_chaos`) gate goodput in CI.
+
+use std::time::Duration;
+use unisvd::{
+    hw, Device, DeviceHealth, FaultPlan, Matrix, Svd, SvdConfig, SvdError, SvdFleet, SvdService,
+};
+
+fn main() {
+    let cfg = SvdConfig::default();
+    let a = Matrix::<f32>::from_fn(32, 32, |i, j| ((i * 31 + j * 17) % 23) as f32 / 23.0 - 0.5);
+
+    // --- 1. a raw faulted device surfaces typed faults -------------------
+    // Corrupt every upload: the solve completes (faults latch, they
+    // don't throw), and the execution layer classifies the result.
+    let chaotic_hw = hw::h100().with_faults(FaultPlan::seeded(42).corrupt_rate(1.0));
+    let mut plan = Svd::on(&chaotic_hw)
+        .precision::<f32>()
+        .plan(32, 32)
+        .expect("planning is fault-free");
+    let err = plan.execute(&a).expect_err("every upload is poisoned");
+    println!("raw faulted device: {err}");
+    assert!(matches!(err, SvdError::DeviceFault(_)));
+    assert!(err.is_transient(), "corruption is retryable");
+
+    // --- 2. the fault schedule is seeded and reproducible -----------------
+    let dev = Device::numeric(
+        hw::h100().with_faults(FaultPlan::seeded(7).corrupt_rate(0.35).stall_rate(0.20)),
+    );
+    let _ = unisvd::svdvals(&a, &dev);
+    let schedule = dev.fault_history();
+    assert!(!schedule.is_empty(), "this seed injects");
+    println!(
+        "seeded schedule: {} faults injected, first = {:?}",
+        schedule.len(),
+        schedule.first()
+    );
+
+    // --- 3. a service with retries absorbs a realistic schedule ----------
+    // ~5% of uploads corrupt; two bounded retries (fresh plan checkout
+    // per attempt) push the success rate back to ~100%.
+    let flaky = hw::h100().with_faults(FaultPlan::seeded(1234).corrupt_rate(0.05));
+    let service = SvdService::builder(&flaky)
+        .retry(2)
+        .verify_outputs(true)
+        .build();
+    let mut served = 0;
+    for k in 0..40 {
+        let m = Matrix::<f32>::from_fn(24, 24, |i, j| {
+            ((i * 13 + j * 7 + k) % 19) as f32 / 19.0 - 0.5
+        });
+        if service.solve(&m, &cfg).is_ok() {
+            served += 1;
+        }
+    }
+    println!("service with retry(2): {served}/40 served under a 5% corruption schedule");
+    assert!(service.ledger_in_balance(), "accounting survives chaos");
+
+    // --- 4. per-ticket deadlines ------------------------------------------
+    // A queued request that outlives its deadline resolves with a typed
+    // timeout instead of executing; the caller-side wait_timeout bounds
+    // the wait symmetrically.
+    let ticket = service
+        .submit_with_deadline(a.clone(), &cfg, Duration::from_secs(30))
+        .expect("admitted");
+    let out = ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("in time");
+    println!("deadline submit: σ₁ = {:.3} within budget", out.values[0]);
+
+    // --- 5. fleet circuit breaker + revival -------------------------------
+    // Backend 0 faults on every solve; after a short streak the breaker
+    // trips and the router diverts to the healthy backend. fail/revive
+    // round-trips the device through operator intervention.
+    let fleet = SvdFleet::builder()
+        .device(hw::h100().with_faults(FaultPlan::seeded(99).corrupt_rate(1.0)))
+        .device(hw::a100())
+        .build();
+    for n in 0..24usize {
+        let m = Matrix::<f32>::identity(8 + n);
+        let _ = fleet.solve(&m, &cfg);
+    }
+    let health = fleet.device_health(0);
+    println!("after the storm, chaotic backend health: {health:?}");
+    assert_ne!(health, DeviceHealth::Healthy, "the breaker reacted");
+    fleet.solve(&a, &cfg).expect("healthy backend serves");
+
+    fleet.fail_device(1);
+    assert!(fleet.revive_device(1), "operator power-cycles the backend");
+    assert_eq!(fleet.device_health(1), DeviceHealth::Healthy);
+    fleet
+        .backend(1)
+        .solve(&a, &cfg)
+        .expect("revived backend serves again");
+    println!("fail_device(1) → revive_device(1): backend serves again");
+
+    println!("\nsvd_chaos: all scenarios passed");
+}

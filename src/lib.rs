@@ -26,6 +26,12 @@
 //!   surface: requests route by plan-time support, memory headroom, and
 //!   observed load; hot signatures replicate; `fail_device` migrates a
 //!   lost device's work to survivors without hanging a ticket.
+//! * [`FaultPlan`] — deterministic chaos: a seeded fault schedule
+//!   (transfer corruption, kernel stalls, transient allocation
+//!   failures, device death) attached to a hardware descriptor, with
+//!   the self-healing serving knobs that absorb it — bounded retries,
+//!   output verification, per-ticket deadlines, per-backend circuit
+//!   breakers ([`DeviceHealth`]), and `revive_device`.
 //! * [`OutOfCore`] / [`OutOfCorePlan`] — out-of-core execution for
 //!   operands beyond device memory: a TSQR front-end for tall-skinny
 //!   shapes (panel QR + fixed-shape R-reduction tree, bit-identical for
@@ -60,9 +66,9 @@ pub use unisvd_core::{
 };
 pub use unisvd_gpu::hw;
 pub use unisvd_gpu::{
-    BackendKind, Device, ExecMode, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchRecord,
-    LaunchSpec, MemoryLedger, StagingArena, StagingTile, TraceSummary, UnsupportedPrecision,
-    WorkgroupArena,
+    BackendKind, Device, DeviceFault, ExecMode, FaultChannel, FaultInjector, FaultKind, FaultPlan,
+    FaultRecord, GlobalBuffer, HardwareDescriptor, KernelClass, LaunchRecord, LaunchSpec,
+    MemoryLedger, StagingArena, StagingTile, TraceSummary, UnsupportedPrecision, WorkgroupArena,
 };
 pub use unisvd_kernels::HyperParams;
 pub use unisvd_matrix::{
@@ -73,8 +79,9 @@ pub use unisvd_scalar::{PrecisionKind, Real, Scalar, F16};
 #[allow(deprecated)]
 pub use unisvd_service::ServiceConfig;
 pub use unisvd_service::{
-    CacheStats, DeviceStats, FailoverReport, FleetBuilder, FleetStats, QueueStats, ServiceBuilder,
-    ServiceError, ServiceStats, SvdFleet, SvdService, Ticket,
+    CacheStats, DeviceHealth, DeviceStats, FailoverReport, FleetBuildError, FleetBuilder,
+    FleetStats, QueueStats, ServiceBuilder, ServiceError, ServiceStats, SvdFleet, SvdService,
+    Ticket,
 };
 
 /// Host threading controls, re-exported from the vendored work-stealing

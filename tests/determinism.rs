@@ -533,3 +533,59 @@ fn parallel_reductions_bit_identical_across_thread_counts() {
         assert_eq!(sum(t), sequential, "par sum changed bits at {t} threads");
     }
 }
+
+#[test]
+fn fault_schedule_bit_identical_across_thread_counts() {
+    // The chaos gate's foundation: a seeded FaultPlan must inject the
+    // SAME faults at the SAME event indices — and perturb results
+    // identically — at 1, 4, and 8 threads. Injection decisions hash
+    // (seed, channel, event counter) on the issuing thread, so the pool
+    // size must be invisible to the schedule.
+    use unisvd::{FaultPlan, FaultRecord};
+    let a = testmat::kahan(48, 0.285);
+    let plan = FaultPlan::seeded(0xC4A0)
+        .corrupt_rate(0.10)
+        .stall_rate(0.05)
+        .alloc_fail_rate(0.25);
+    let run = |t: usize| -> (Vec<FaultRecord>, Vec<u64>, bool) {
+        pool(t).install(|| {
+            let dev = Device::numeric(hw::h100().with_faults(plan.clone()));
+            // Drive several solves through one device so every channel's
+            // counter advances well past a handful of events; a ledger
+            // alongside exercises the alloc channel deterministically.
+            let mut bits = Vec::new();
+            for _ in 0..3 {
+                let out = unisvd::svdvals(&a, &dev);
+                if let Ok(values) = out {
+                    bits.extend(values.iter().map(|v| v.to_bits()));
+                } else {
+                    bits.push(u64::MAX); // NaN-poisoned runs fail alike
+                }
+            }
+            let faulted = dev.take_fault().is_some();
+            (dev.fault_history(), bits, faulted)
+        })
+    };
+    let (schedule, bits, faulted) = run(1);
+    assert!(
+        !schedule.is_empty(),
+        "rates this high must inject at least one fault"
+    );
+    for t in [4, 8] {
+        let (s, b, f) = run(t);
+        assert_eq!(s, schedule, "fault schedule changed at {t} threads");
+        assert_eq!(b, bits, "faulted results changed bits at {t} threads");
+        assert_eq!(f, faulted, "fault latch changed at {t} threads");
+    }
+    // A different seed must produce a different schedule (the plans are
+    // decorrelated, not replayed).
+    let other = pool(1).install(|| {
+        let dev = Device::numeric(hw::h100().with_faults(FaultPlan::seeded(1).corrupt_rate(0.10)));
+        let _ = unisvd::svdvals(&a, &dev);
+        dev.fault_history()
+    });
+    assert_ne!(
+        other, schedule,
+        "different seeds may not share a fault schedule"
+    );
+}

@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 10] = [
+const EXAMPLES: [&str; 11] = [
     "quickstart",
     "accuracy_study",
     "image_compression",
@@ -17,6 +17,7 @@ const EXAMPLES: [&str; 10] = [
     "svd_async_server",
     "svd_fleet",
     "svd_oocore",
+    "svd_chaos",
 ];
 
 fn target_dir() -> PathBuf {

@@ -193,6 +193,78 @@ proptest! {
         }
     }
 
+    /// A `MemoryLedger` with an attached fault injector stays exactly
+    /// balanced through arbitrary interleavings of reservations,
+    /// releases, injected transient allocation failures, retries, and a
+    /// mid-sequence device death: a refused reservation charges
+    /// nothing, so releasing every accepted one must return the ledger
+    /// to zero.
+    #[test]
+    fn ledger_balances_under_injected_faults(
+        seed in any::<u64>(),
+        fail_rate in 0.0f64..0.9,
+        sizes in prop::collection::vec(1u64..4096, 1..80),
+        death_at in 0u64..120,
+    ) {
+        use unisvd::{FaultInjector, FaultPlan, MemoryLedger};
+        let mut plan = FaultPlan::seeded(seed).alloc_fail_rate(fail_rate);
+        // Kill the device mid-sequence on some runs; past-the-end
+        // values leave it alive the whole way.
+        if death_at < 60 {
+            plan = plan.death_after(death_at);
+        }
+        let ledger = MemoryLedger::new(1 << 20)
+            .with_fault_injector(FaultInjector::new(plan, "proptest"));
+        let mut held: Vec<u64> = Vec::new();
+        let mut accepted = 0u64;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            // First attempt, then one bounded retry on refusal — the
+            // serving layer's recovery shape in miniature.
+            let ok = ledger.try_reserve(bytes) || ledger.try_reserve(bytes);
+            if ok {
+                held.push(bytes);
+                accepted += bytes;
+            }
+            prop_assert_eq!(ledger.used(), accepted, "drift after op {}", i);
+            // Interleave releases so the books move both ways.
+            if i % 3 == 2 {
+                if let Some(b) = held.pop() {
+                    ledger.release(b);
+                    accepted -= b;
+                }
+            }
+        }
+        prop_assert_eq!(ledger.used(), accepted);
+        for b in held.drain(..) {
+            ledger.release(b);
+        }
+        prop_assert_eq!(ledger.used(), 0, "ledger must drain to zero");
+    }
+
+    /// A service on a chaotic device — transient alloc failures and
+    /// upload corruption, with bounded retries — keeps its plan-cache
+    /// ledger in balance at quiescence no matter the schedule.
+    #[test]
+    fn service_ledger_balances_under_chaos(
+        seed in any::<u64>(),
+        shapes in prop::collection::vec(8usize..24, 1..8),
+    ) {
+        use unisvd::{FaultPlan, Matrix, SvdService};
+        let chaotic = hw::h100().with_faults(
+            FaultPlan::seeded(seed)
+                .corrupt_rate(0.10)
+                .alloc_fail_rate(0.15),
+        );
+        let service = SvdService::builder(&chaotic).retry(2).build();
+        let cfg = SvdConfig::default();
+        for &n in &shapes {
+            // Faulted solves may fail even after retries; accounting
+            // must hold either way.
+            let _ = service.solve(&Matrix::<f32>::identity(n), &cfg);
+        }
+        prop_assert!(service.ledger_in_balance(), "books drifted");
+    }
+
     /// Matrix scaling: σ(cA) = |c|·σ(A).
     #[test]
     fn scaling_property(n in 4usize..24, c in 0.1f64..8.0, seed in any::<u64>()) {

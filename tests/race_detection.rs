@@ -287,3 +287,90 @@ fn full_pipeline_is_race_free() {
     let sv = unisvd::svdvals(&tall, &dev).unwrap();
     assert_eq!(sv.len(), 24);
 }
+
+#[test]
+fn chaos_hammer_resolves_every_ticket_and_balances_ledgers() {
+    // The self-healing gate under fire: one fleet backend runs a seeded
+    // ~5% fault schedule (corruption + stalls + transient alloc
+    // failures) while 6 producers hammer both backends with async
+    // bursts. With bounded retries on, every submitted ticket must
+    // resolve (a lost ticket hangs this test), and at drain both
+    // ledgers must balance — injected alloc refusals charge nothing.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use unisvd::{FaultPlan, SvdConfig, SvdFleet};
+    const PRODUCERS: usize = 6;
+    const BURSTS: usize = 6;
+    const BURST: usize = 5;
+    let cfg = SvdConfig::default();
+    let shapes = [16usize, 24, 32];
+    let mat = |n: usize, k: usize| {
+        Matrix::<f32>::from_fn(n, n, |i, j| {
+            ((i * 23 + j * 11 + k * 3) % 17) as f32 / 17.0 - 0.5
+        })
+    };
+    let chaotic = hw::h100().with_faults(
+        FaultPlan::seeded(0x5EED_CAFE)
+            .corrupt_rate(0.05)
+            .stall_rate(0.002)
+            .alloc_fail_rate(0.02),
+    );
+    let fleet = SvdFleet::builder()
+        .device(chaotic)
+        .device(hw::a100())
+        .retry(2)
+        .replicate_after(2)
+        .build();
+    let submitted = AtomicU64::new(0);
+    let resolved_ok = AtomicU64::new(0);
+    let resolved_err = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            let (fleet, cfg, mat) = (&fleet, &cfg, &mat);
+            let (submitted, resolved_ok, resolved_err) = (&submitted, &resolved_ok, &resolved_err);
+            s.spawn(move || {
+                for r in 0..BURSTS {
+                    let n = shapes[(t + r) % shapes.len()];
+                    let tickets: Vec<_> = (0..BURST)
+                        .filter_map(|k| fleet.submit(mat(n, k), cfg).ok())
+                        .collect();
+                    submitted.fetch_add(tickets.len() as u64, Ordering::Relaxed);
+                    for ticket in tickets {
+                        match ticket.wait() {
+                            Ok(out) => {
+                                assert_eq!(out.values.len(), n);
+                                resolved_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                resolved_err.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let (sub, ok, err) = (
+        submitted.load(Ordering::Relaxed),
+        resolved_ok.load(Ordering::Relaxed),
+        resolved_err.load(Ordering::Relaxed),
+    );
+    assert_eq!(ok + err, sub, "every submitted ticket resolved");
+    assert!(
+        sub > 0 && ok > 0,
+        "the storm served traffic (ok {ok}/{sub})"
+    );
+    // With 2 retries against a ~5%-per-solve schedule, the overwhelming
+    // majority must succeed end to end.
+    assert!(
+        ok * 10 >= sub * 9,
+        "retries should absorb the schedule: only {ok}/{sub} succeeded"
+    );
+    assert!(
+        fleet.backend(0).ledger_in_balance(),
+        "chaotic ledger balances"
+    );
+    assert!(
+        fleet.backend(1).ledger_in_balance(),
+        "clean ledger balances"
+    );
+}
